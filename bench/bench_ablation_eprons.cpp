@@ -1,0 +1,79 @@
+// Ablation: which EPRONS-Server mechanism buys what?
+//
+// DESIGN.md calls out three design choices in the server policy:
+//   1. average-VP frequency selection (vs Rubik's max-VP rule),
+//   2. EDF ordering of waiting requests,
+//   3. borrowing measured network slack.
+// This bench disables one at a time and reports CPU power + SLA compliance
+// at a mid/high utilization operating point, plus the ECN-conservatism
+// effect on TimeTrader when the network is consolidated (the section I
+// argument for why "TimeTrader + consolidation" is not a substitute for
+// EPRONS).
+#include "bench_common.h"
+#include "sim/search_cluster.h"
+#include "topo/aggregation.h"
+
+using namespace eprons;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool csv = cli.has_flag("csv");
+  const double duration_s = cli.get_double("duration", 8.0);
+  bench::print_header(
+      "Ablation — EPRONS-Server mechanisms + TimeTrader-under-consolidation",
+      "average-VP and slack each trim power at equal SLA compliance; EDF "
+      "shapes which requests miss; consolidated networks make TimeTrader "
+      "conservative (section I)");
+
+  bench::Fixture fx;
+  const AggregationPolicies policies(&fx.topo);
+  const auto full = policies.policy(0).switch_on;
+  const auto agg2 = policies.policy(2).switch_on;
+  Rng bg_rng(900);
+  const FlowSet background =
+      make_background_flows(bench::bench_flow_gen(), 6, 0.20, 0.1, bg_rng);
+
+  auto run = [&](const std::string& policy, double util,
+                 const std::vector<bool>* subnet) {
+    ScenarioConfig scenario;
+    scenario.cluster.policy = policy;
+    scenario.cluster.target_utilization = util;
+    scenario.cluster.duration = sec(duration_s);
+    scenario.cluster.warmup = sec(1.0);
+    return run_search_scenario(fx.topo, fx.service_model, fx.power_model,
+                               background, scenario, subnet);
+  };
+
+  std::printf("(1) EPRONS-Server feature knockout (full topology)\n");
+  Table t({"variant", "cpu_W@30%", "miss%@30%", "cpu_W@50%", "miss%@50%"});
+  t.set_precision(2);
+  for (const char* variant :
+       {"eprons", "eprons-maxvp", "eprons-noedf", "eprons-noslack",
+        "rubik+", "rubik"}) {
+    const auto lo = run(variant, 0.3, &full);
+    const auto hi = run(variant, 0.5, &full);
+    t.add_row({std::string(variant), lo.metrics.avg_cpu_power_per_server,
+               100.0 * lo.metrics.subquery_miss_rate,
+               hi.metrics.avg_cpu_power_per_server,
+               100.0 * hi.metrics.subquery_miss_rate});
+  }
+  t.print(std::cout, csv);
+
+  std::printf("\n(2) TimeTrader on a consolidated network (aggregation 2): "
+              "the ECN signal turns it conservative\n");
+  Table t2({"policy", "network", "cpu_W", "p95_ms", "miss_%"});
+  t2.set_precision(2);
+  for (const auto& [policy, subnet, label] :
+       {std::tuple{"timetrader", &full, "full"},
+        std::tuple{"timetrader", &agg2, "aggregation2"},
+        std::tuple{"eprons", &full, "full"},
+        std::tuple{"eprons", &agg2, "aggregation2"}}) {
+    const auto result = run(policy, 0.3, subnet);
+    t2.add_row({std::string(policy), std::string(label),
+                result.metrics.avg_cpu_power_per_server,
+                to_ms(result.metrics.subquery_latency.p95),
+                100.0 * result.metrics.subquery_miss_rate});
+  }
+  t2.print(std::cout, csv);
+  return 0;
+}

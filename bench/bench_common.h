@@ -1,0 +1,56 @@
+// Shared fixtures for the figure-reproduction benches.
+//
+// Every bench binary prints the series of one paper figure as an aligned
+// table (or CSV with --csv) plus a short header stating what the paper
+// reported, so `for b in build/bench/*; do $b; done` produces a complete
+// paper-vs-measured record.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "dvfs/synthetic_workload.h"
+#include "flow/flow.h"
+#include "power/server_power.h"
+#include "topo/fattree.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace eprons::bench {
+
+struct Fixture {
+  FatTree topo{4};
+  ServerPowerModel power_model{};
+  ServiceModel service_model;
+
+  explicit Fixture(std::uint64_t seed = 1)
+      : service_model(make_model(seed)) {}
+
+ private:
+  static ServiceModel make_model(std::uint64_t seed) {
+    Rng rng(seed);
+    SyntheticWorkloadConfig config;
+    config.samples = 50000;
+    config.bins = 256;
+    return make_search_service_model(config, rng);
+  }
+};
+
+/// Background-flow generator config shared by the figure benches: the
+/// aggregator (host 0) is excluded so elephants never contend with the
+/// query fan-in on its edge downlink.
+inline FlowGenConfig bench_flow_gen() {
+  FlowGenConfig config;
+  config.exclude_host = 0;
+  return config;
+}
+
+inline void print_header(const std::string& figure,
+                         const std::string& paper_result) {
+  std::printf("== %s ==\n", figure.c_str());
+  std::printf("paper: %s\n\n", paper_result.c_str());
+}
+
+}  // namespace eprons::bench

@@ -1,0 +1,46 @@
+// Fig. 9: the four network aggregation policies on the 4-ary fat-tree.
+//
+// "From Aggregation 0 to Aggregation 3, we gradually turn off the
+// core-level switches and the corresponding aggregation-level switches."
+// This bench prints which switches each policy keeps on, the active count,
+// and verifies full host-to-host connectivity at every level.
+#include "bench_common.h"
+#include "topo/aggregation.h"
+
+using namespace eprons;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool csv = cli.has_flag("csv");
+  bench::print_header(
+      "Fig. 9 — aggregation policies 0-3",
+      "progressively fewer active switches (20 -> 13 for k=4), hosts stay "
+      "connected; greyed switches are powered off");
+
+  const FatTree topo(4);
+  const AggregationPolicies policies(&topo);
+  const Graph& graph = topo.graph();
+  const auto hosts = graph.hosts();
+
+  Table table({"aggregation", "active_switches", "network_W@36",
+               "connected", "off_switches"});
+  for (int level = 0; level <= policies.max_level(); ++level) {
+    const AggregationPolicy policy = policies.policy(level);
+    std::string off;
+    for (const Node& n : graph.nodes()) {
+      if (is_switch_type(n.type) &&
+          !policy.switch_on[static_cast<std::size_t>(n.id)]) {
+        if (!off.empty()) off += " ";
+        off += n.name;
+      }
+    }
+    const bool connected = graph.connected(hosts[0], hosts, policy.switch_on);
+    table.add_row({static_cast<long long>(level),
+                   static_cast<long long>(policy.active_switches),
+                   36.0 * policy.active_switches,
+                   std::string(connected ? "yes" : "NO"),
+                   off.empty() ? std::string("(none)") : off});
+  }
+  table.print(std::cout, csv);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Section III-C overhead claims, as google-benchmark microbenchmarks:
+//   * "computing one convolution requires 20 us" (FFT path),
+//   * "it takes less than 30 us" to determine the operating frequency once
+//     equivalent distributions are cached (binary search on average VP),
+//   * arrival-instant decisions pay n convolutions.
+#include <benchmark/benchmark.h>
+
+#include "dvfs/equivalent_queue.h"
+#include "dvfs/policies.h"
+#include "dvfs/synthetic_workload.h"
+#include "stats/fft.h"
+
+namespace eprons {
+namespace {
+
+const ServiceModel& shared_model() {
+  static const ServiceModel model = [] {
+    Rng rng(1);
+    SyntheticWorkloadConfig config;
+    config.samples = 50000;
+    config.bins = 512;  // the paper-scale PDF resolution
+    return make_search_service_model(config, rng);
+  }();
+  return model;
+}
+
+void BM_FftConvolution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(n), b(n);
+  for (double& x : a) x = rng.uniform();
+  for (double& x : b) x = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convolve(a, b));
+  }
+}
+BENCHMARK(BM_FftConvolution)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_EquivalentQueueDeparture(benchmark::State& state) {
+  // Departure instants hit the fresh-convolution cache: near-zero cost.
+  const ServiceModel& model = shared_model();
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  model.fresh_convolution(depth);  // warm the cache
+  for (auto _ : state) {
+    EquivalentQueue q(&model, depth, 0.0);
+    benchmark::DoNotOptimize(q.at(depth - 1).size());
+  }
+}
+BENCHMARK(BM_EquivalentQueueDeparture)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EquivalentQueueArrival(benchmark::State& state) {
+  // Arrival instants pay n convolutions (paper section III-C).
+  const ServiceModel& model = shared_model();
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const Work done = model.work().mean() / 2.0;
+  for (auto _ : state) {
+    EquivalentQueue q(&model, depth, done);
+    benchmark::DoNotOptimize(q.at(depth - 1).size());
+  }
+}
+BENCHMARK(BM_EquivalentQueueArrival)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FrequencyDecision(benchmark::State& state) {
+  // The <30 us claim: selecting the frequency by binary search on the
+  // average VP, with equivalent distributions already available.
+  const ServiceModel& model = shared_model();
+  EpronsServerPolicy policy(&model);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  model.fresh_convolution(depth);
+  std::vector<QueuedRequest> queue(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue[i].id = static_cast<RequestId>(i);
+    queue[i].deadline_server = ms(25.0) + ms(2.0) * static_cast<double>(i);
+    queue[i].deadline_with_slack = queue[i].deadline_server + ms(2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select_frequency(
+        0.0, std::span<const QueuedRequest>(queue.data(), queue.size()),
+        0.0));
+  }
+}
+BENCHMARK(BM_FrequencyDecision)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_RubikDecision(benchmark::State& state) {
+  const ServiceModel& model = shared_model();
+  RubikPolicy policy(&model);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  model.fresh_convolution(depth);
+  std::vector<QueuedRequest> queue(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue[i].deadline_server = ms(25.0) + ms(2.0) * static_cast<double>(i);
+    queue[i].deadline_with_slack = queue[i].deadline_server;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.select_frequency(
+        0.0, std::span<const QueuedRequest>(queue.data(), queue.size()),
+        0.0));
+  }
+}
+BENCHMARK(BM_RubikDecision)->Arg(4);
+
+}  // namespace
+}  // namespace eprons
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Consolidation planner: explore latency-aware traffic consolidation on a
+// k-ary fat-tree from the command line.
+//
+// Generates (or uses the Fig. 2) flow mix, runs the greedy heuristic and —
+// for small instances — the exact MILP, and prints the chosen subnet, the
+// per-flow paths, and the network power at each scale factor K.
+//
+//   ./consolidation_planner --flows=6 --background=0.3 --kmax=4 --exact
+//   ./consolidation_planner --fig2
+#include <cstdio>
+#include <string>
+
+#include "consolidate/greedy_consolidator.h"
+#include "consolidate/milp_consolidator.h"
+#include "topo/fattree.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+#include <iostream>
+
+using namespace eprons;
+
+namespace {
+
+std::string path_to_string(const Graph& graph, const Path& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) out += "-";
+    out += graph.node(path[i]).name;
+  }
+  return out.empty() ? "(unrouted)" : out;
+}
+
+FlowSet fig2_flows() {
+  FlowSet flows;
+  flows.add(0, 12, 900.0, FlowClass::LatencyTolerant);
+  flows.add(1, 13, 20.0, FlowClass::LatencySensitive);
+  flows.add(2, 14, 20.0, FlowClass::LatencySensitive);
+  return flows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int k = static_cast<int>(cli.get_int("k", 4));
+  const int kmax = static_cast<int>(cli.get_int("kmax", 3));
+  const bool exact = cli.has_flag("exact") || cli.has_flag("fig2");
+  const bool csv = cli.has_flag("csv");
+
+  const FatTree topo(k);
+
+  FlowSet flows;
+  if (cli.has_flag("fig2")) {
+    flows = fig2_flows();
+  } else {
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
+    FlowGenConfig gen;
+    gen.num_hosts = topo.num_hosts();
+    flows = make_background_flows(
+        gen, static_cast<int>(cli.get_int("flows", 6)),
+        cli.get_double("background", 0.3), 0.2, rng);
+    // A latency-sensitive pair so K has something to scale.
+    flows.add(0, topo.num_hosts() - 1, 20.0, FlowClass::LatencySensitive);
+    flows.add(topo.num_hosts() - 1, 0, 20.0, FlowClass::LatencySensitive);
+  }
+
+  std::printf("fat-tree k=%d: %d hosts, %d switches; %zu flows "
+              "(%zu latency-sensitive)\n\n",
+              k, topo.num_hosts(), topo.num_switches(), flows.size(),
+              flows.count(FlowClass::LatencySensitive));
+
+  Table summary({"K", "method", "feasible", "active_switches", "network_W"});
+  const GreedyConsolidator greedy(&topo);
+  const MilpConsolidator milp(&topo);
+
+  for (int scale = 1; scale <= kmax; ++scale) {
+    ConsolidationConfig config;
+    config.scale_factor_k = scale;
+
+    const ConsolidationResult heur = greedy.consolidate(flows, config);
+    summary.add_row({static_cast<long long>(scale), std::string("greedy"),
+                     std::string(heur.feasible ? "yes" : "no"),
+                     static_cast<long long>(heur.active_switches),
+                     heur.network_power});
+    if (exact) {
+      const ConsolidationResult opt = milp.consolidate(flows, config);
+      summary.add_row({static_cast<long long>(scale), std::string("milp"),
+                       std::string(opt.feasible ? "yes" : "no"),
+                       static_cast<long long>(opt.active_switches),
+                       opt.network_power});
+      if (opt.feasible && scale <= 3) {
+        std::printf("K=%d exact paths:\n", scale);
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+          std::printf("  flow %zu (%s, %.0f Mbps): %s\n", i,
+                      flow_class_name(flows[i].cls), flows[i].demand,
+                      path_to_string(topo.graph(), opt.flow_paths[i]).c_str());
+        }
+      }
+    }
+  }
+  std::printf("\n");
+  summary.print(std::cout, csv);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Joint diurnal planning: run the EPRONS optimizer across a synthetic
+// 24-hour trace and watch it resize the network epoch by epoch.
+//
+// Uses the fast analytical predictor (no DES), so the whole day plans in
+// seconds; bench_fig15_diurnal_savings does the DES-validated version.
+//
+//   ./joint_diurnal --epoch=10 --peak-util=0.5 --csv
+#include <iostream>
+
+#include "core/joint_optimizer.h"
+#include "dvfs/synthetic_workload.h"
+#include "trace/diurnal.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace eprons;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int epoch_minutes = static_cast<int>(cli.get_int("epoch", 60));
+  const double peak_util = cli.get_double("peak-util", 0.5);
+  const bool csv = cli.has_flag("csv");
+
+  const FatTree topo(4);
+  const ServerPowerModel power_model;
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  const ServiceModel service_model =
+      make_search_service_model(SyntheticWorkloadConfig{}, rng);
+
+  JointOptimizerConfig joint_config;
+  joint_config.slack.samples_per_pair = 200;
+  const JointOptimizer optimizer(&topo, &service_model, &power_model,
+                                 joint_config);
+
+  DiurnalTraceConfig trace_config;
+  const auto trace = make_diurnal_trace(trace_config);
+
+  Table table({"minute", "search_load", "bg_util", "K", "switches",
+               "network_W", "server_W_each", "predicted_total_W",
+               "feasible"});
+  table.set_precision(2);
+
+  for (std::size_t i = 0; i < trace.size();
+       i += static_cast<std::size_t>(epoch_minutes)) {
+    const TracePoint& point = trace[i];
+    const double utilization = std::max(0.02, peak_util * point.search_load);
+
+    Rng flow_rng(1000 + i);
+    FlowGenConfig gen;
+    const FlowSet background = make_background_flows(
+        gen, 10, point.background_util, 0.1, flow_rng);
+
+    const JointPlan plan = optimizer.optimize(background, utilization);
+    table.add_row({static_cast<long long>(point.minute), point.search_load,
+                   point.background_util, plan.k,
+                   static_cast<long long>(plan.placement.active_switches),
+                   plan.network_power, plan.server.server_power,
+                   plan.total_power,
+                   std::string(plan.feasible ? "yes" : "no")});
+  }
+  table.print(std::cout, csv);
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "consolidate/arc_lp.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace eprons {
+
+ArcLpRelaxation::ArcLpRelaxation(const Topology* topo) : topo_(topo) {}
+
+lp::Model ArcLpRelaxation::build_model(const FlowSet& flows,
+                                       const ConsolidationConfig& config) const {
+  const Graph& graph = topo_->graph();
+  lp::Model model(lp::Sense::Minimize);
+
+  // Relaxed Y_u (switches) and X_l (links).
+  std::vector<int> y_var(graph.num_nodes(), -1);
+  for (const Node& n : graph.nodes()) {
+    if (is_switch_type(n.type)) {
+      y_var[static_cast<std::size_t>(n.id)] = model.add_variable(
+          strformat("Y_%s", n.name.c_str()), 0.0, 1.0, config.switch_power);
+    }
+  }
+  std::vector<int> x_var(graph.num_links(), -1);
+  for (const Link& l : graph.links()) {
+    x_var[static_cast<std::size_t>(l.id)] = model.add_variable(
+        strformat("X_%d", l.id), 0.0, 1.0, config.link_power);
+    for (NodeId end : {l.a, l.b}) {
+      if (graph.is_switch(end)) {
+        // Eq. (7): X_l <= Y_end.
+        model.add_row(strformat("x%d_le_y", l.id), lp::RowType::LessEqual, 0.0,
+                      {{x_var[static_cast<std::size_t>(l.id)], 1.0},
+                       {y_var[static_cast<std::size_t>(end)], -1.0}});
+      }
+    }
+  }
+
+  // f_i(u,v): one nonnegative variable per flow per directed arc.
+  // Index: flow * (2 * num_links) + link * 2 + (forward ? 0 : 1).
+  const std::size_t arcs = graph.num_links() * 2;
+  std::vector<int> f_var(flows.size() * arcs, -1);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (const Link& l : graph.links()) {
+      for (int dir = 0; dir < 2; ++dir) {
+        f_var[i * arcs + static_cast<std::size_t>(l.id) * 2 +
+              static_cast<std::size_t>(dir)] =
+            model.add_variable(strformat("f%zu_l%d_d%d", i, l.id, dir), 0.0,
+                               lp::kInfinity, 0.0);
+      }
+    }
+  }
+  auto f_of = [&](std::size_t flow, LinkId link, bool forward) {
+    return f_var[flow * arcs + static_cast<std::size_t>(link) * 2 +
+                 (forward ? 0u : 1u)];
+  };
+
+  // Eq. (6): conservation with demand K * d_i at source/sink.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& flow = flows[i];
+    const double demand = flow.scaled_demand(config.scale_factor_k);
+    const NodeId src = topo_->host(flow.src_host);
+    const NodeId dst = topo_->host(flow.dst_host);
+    for (const Node& n : graph.nodes()) {
+      double rhs = 0.0;
+      if (n.id == src) rhs = demand;
+      if (n.id == dst) rhs = -demand;
+      std::vector<lp::RowEntry> entries;
+      for (LinkId lid : graph.links_of(n.id)) {
+        const bool forward = graph.link(lid).a == n.id;  // n -> other
+        entries.push_back({f_of(i, lid, forward), 1.0});     // outgoing
+        entries.push_back({f_of(i, lid, !forward), -1.0});   // incoming
+      }
+      model.add_row(strformat("cons_f%zu_n%d", i, n.id), lp::RowType::Equal,
+                    rhs, std::move(entries));
+    }
+  }
+
+  // Eq. (4): per-arc capacity gated by X.
+  for (const Link& l : graph.links()) {
+    const Bandwidth usable = l.capacity - config.safety_margin;
+    for (int dir = 0; dir < 2; ++dir) {
+      std::vector<lp::RowEntry> entries;
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        entries.push_back({f_of(i, l.id, dir == 0), 1.0});
+      }
+      entries.push_back({x_var[static_cast<std::size_t>(l.id)], -usable});
+      model.add_row(strformat("cap_l%d_d%d", l.id, dir),
+                    lp::RowType::LessEqual, 0.0, std::move(entries));
+    }
+  }
+
+  return model;
+}
+
+ArcLpResult ArcLpRelaxation::solve(const FlowSet& flows,
+                                   const ConsolidationConfig& config) const {
+  const lp::Model model = build_model(flows, config);
+  ArcLpResult out;
+  out.num_variables = model.num_variables();
+  out.num_rows = model.num_rows();
+
+  const lp::Solution sol = lp::SimplexSolver().solve(model);
+  out.status = sol.status;
+  if (sol.status != lp::SolveStatus::Optimal) return out;
+
+  out.network_power_bound = sol.objective;
+  const Graph& graph = topo_->graph();
+  out.switch_activation.assign(graph.num_nodes(), 0.0);
+  // Y variables were added first, in node order over switches.
+  int idx = 0;
+  for (const Node& n : graph.nodes()) {
+    if (is_switch_type(n.type)) {
+      out.switch_activation[static_cast<std::size_t>(n.id)] =
+          sol.x[static_cast<std::size_t>(idx)];
+      ++idx;
+    }
+  }
+  return out;
+}
+
+}  // namespace eprons

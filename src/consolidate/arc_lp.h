@@ -1,0 +1,47 @@
+// Paper-literal arc (flow-conservation) LP formulation of eqs. (2)-(8).
+//
+// This builds exactly the model of section IV-B: per-flow directed-arc
+// variables f_i(u,v) with conservation (eq. 6), arc capacity gated by link
+// ON variables (eq. 4), link-switch coupling (eq. 7), and the power
+// objective (eq. 2). Solved as a *continuous relaxation* (X, Y in [0,1],
+// flows splittable), it yields a lower bound on achievable network power —
+// used in tests to sandwich the MILP/heuristic and in
+// bench_micro_lp_vs_heuristic to reproduce the paper's "exact is too slow,
+// heuristic is fast and near-optimal" observation.
+//
+// Antisymmetry (eq. 5) is handled by modeling each direction as its own
+// nonnegative variable; the unsplittable constraint (eq. 9) is what the
+// MILP adds back via path binaries.
+#pragma once
+
+#include "consolidate/consolidation.h"
+#include "lp/simplex.h"
+
+namespace eprons {
+
+struct ArcLpResult {
+  lp::SolveStatus status = lp::SolveStatus::Infeasible;
+  /// Lower bound on network power (switch + link objective terms only).
+  Power network_power_bound = 0.0;
+  /// Relaxed activation levels, for diagnostics.
+  std::vector<double> switch_activation;  // NodeId-indexed, 0..1
+  int num_variables = 0;
+  int num_rows = 0;
+};
+
+class ArcLpRelaxation {
+ public:
+  explicit ArcLpRelaxation(const Topology* topo);
+
+  ArcLpResult solve(const FlowSet& flows,
+                    const ConsolidationConfig& config) const;
+
+  /// Builds the model without solving (size diagnostics / benches).
+  lp::Model build_model(const FlowSet& flows,
+                        const ConsolidationConfig& config) const;
+
+ private:
+  const Topology* topo_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,43 @@
+#include "consolidate/consolidation.h"
+
+namespace eprons {
+
+LinkUtilization ConsolidationResult::offered_load(const Graph& graph,
+                                                  const FlowSet& flows) const {
+  LinkUtilization load(&graph);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i >= flow_paths.size() || flow_paths[i].size() < 2) continue;
+    load.add_path_load(flow_paths[i], flows[i].demand,
+                       flows[i].cls == FlowClass::LatencyTolerant);
+  }
+  return load;
+}
+
+void finalize_result(const Graph& graph, const ConsolidationConfig& config,
+                     ConsolidationResult& result) {
+  result.active_switches = 0;
+  result.active_links = 0;
+  for (const Node& n : graph.nodes()) {
+    if (is_switch_type(n.type) &&
+        result.switch_on[static_cast<std::size_t>(n.id)]) {
+      ++result.active_switches;
+    }
+  }
+  for (const Link& l : graph.links()) {
+    if (result.link_on[static_cast<std::size_t>(l.id)]) ++result.active_links;
+  }
+  result.network_power = result.active_switches * config.switch_power +
+                         result.active_links * config.link_power;
+}
+
+void activate_path(const Graph& graph, const Path& path,
+                   ConsolidationResult& result) {
+  for (NodeId n : path) {
+    result.switch_on[static_cast<std::size_t>(n)] = true;
+  }
+  for (LinkId l : graph.path_links(path)) {
+    result.link_on[static_cast<std::size_t>(l)] = true;
+  }
+}
+
+}  // namespace eprons

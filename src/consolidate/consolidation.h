@@ -1,0 +1,67 @@
+// Shared types for latency-aware traffic consolidation (paper section II/IV).
+//
+// A consolidator takes (topology, flow set, scale factor K, safety margin)
+// and returns which switches/links stay on and which path each flow takes.
+// Two implementations exist:
+//   * MilpConsolidator  — exact, solves the paper's optimization model
+//     (eqs. (2)-(9)) with path-choice binaries via branch-and-bound.
+//   * GreedyConsolidator — the paper's production fallback ("heuristic
+//     algorithm similar to the greedy bin-packing algorithm in [2]").
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.h"
+#include "net/link_utilization.h"
+#include "power/switch_power.h"
+#include "topo/fattree.h"
+#include "topo/topology.h"
+#include "util/types.h"
+
+namespace eprons {
+
+struct ConsolidationConfig {
+  /// Scale factor K (paper section II): latency-sensitive flow demands are
+  /// inflated to K * demand before placement, reserving headroom.
+  double scale_factor_k = 1.0;
+  /// Reserved capacity per link, Mbps (Fig. 2 uses 50 Mbps on 1 Gbps links,
+  /// limiting usable bandwidth to 950 Mbps).
+  Bandwidth safety_margin = 50.0;
+  /// Per-switch active power for the objective, W.
+  Power switch_power = 36.0;
+  /// Per-link active power for the objective, W.
+  Power link_power = 0.0;
+  /// When non-empty (NodeId-indexed), flows may only be routed through
+  /// switches marked true — used to consolidate *within* a fixed
+  /// aggregation-policy subnet (Fig. 9/10/13). Empty = whole topology.
+  std::vector<bool> allowed_switches;
+};
+
+struct ConsolidationResult {
+  bool feasible = false;
+  /// NodeId-indexed; hosts are always true.
+  std::vector<bool> switch_on;
+  /// LinkId-indexed.
+  std::vector<bool> link_on;
+  /// Per flow (FlowSet order), the assigned node path. Empty if infeasible.
+  std::vector<Path> flow_paths;
+  int active_switches = 0;
+  int active_links = 0;
+  /// Network part of the objective: switches + links, W.
+  Power network_power = 0.0;
+
+  /// Builds per-link offered load from the *unscaled* flow demands routed
+  /// on the chosen paths (K reserves capacity; actual traffic is 1x).
+  LinkUtilization offered_load(const Graph& graph,
+                               const FlowSet& flows) const;
+};
+
+/// Fills active counts and network power from the masks.
+void finalize_result(const Graph& graph, const ConsolidationConfig& config,
+                     ConsolidationResult& result);
+
+/// Marks every switch/link along `path` as on.
+void activate_path(const Graph& graph, const Path& path,
+                   ConsolidationResult& result);
+
+}  // namespace eprons

@@ -1,0 +1,158 @@
+#include "consolidate/greedy_consolidator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace eprons {
+
+GreedyConsolidator::GreedyConsolidator(const Topology* topo,
+                                       GreedyConsolidatorOptions options)
+    : topo_(topo), options_(options) {}
+
+ConsolidationResult GreedyConsolidator::consolidate(
+    const FlowSet& flows, const ConsolidationConfig& config) const {
+  const Graph& graph = topo_->graph();
+  last_overloaded_ = false;
+
+  ConsolidationResult result;
+  result.switch_on.assign(graph.num_nodes(), false);
+  result.link_on.assign(graph.num_links(), false);
+  result.flow_paths.assign(flows.size(), {});
+  for (const Node& n : graph.nodes()) {
+    if (n.type == NodeType::Host) {
+      result.switch_on[static_cast<std::size_t>(n.id)] = true;
+    }
+  }
+
+  // Residual usable capacity per directed arc (2 slots per link).
+  std::vector<Bandwidth> residual(graph.num_links() * 2, 0.0);
+  for (const Link& l : graph.links()) {
+    const Bandwidth usable = std::max(0.0, l.capacity - config.safety_margin);
+    residual[static_cast<std::size_t>(l.id) * 2] = usable;
+    residual[static_cast<std::size_t>(l.id) * 2 + 1] = usable;
+  }
+  auto arc_slot = [&](const Path& path, std::size_t hop) {
+    const LinkId lid = graph.find_link(path[hop], path[hop + 1]);
+    const bool forward = graph.link(lid).a == path[hop];
+    return static_cast<std::size_t>(lid) * 2 + (forward ? 0 : 1);
+  };
+
+  // First-fit decreasing on scaled demand.
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].scaled_demand(config.scale_factor_k) >
+           flows[b].scaled_demand(config.scale_factor_k);
+  });
+
+  // K reserves headroom in the switching fabric; host access links have no
+  // routing alternative, so they are checked at the flow's unscaled demand
+  // (otherwise any fan-in of more than capacity/(K*demand) latency-
+  // sensitive flows would be spuriously unplaceable).
+  auto arc_need = [&](const Flow& flow, const Path& path, std::size_t hop) {
+    const bool host_adjacent = !graph.is_switch(path[hop]) ||
+                               !graph.is_switch(path[hop + 1]);
+    return host_adjacent ? flow.demand
+                         : flow.scaled_demand(config.scale_factor_k);
+  };
+
+  for (std::size_t fi : order) {
+    const Flow& flow = flows[fi];
+    const std::vector<Path> candidates =
+        config.allowed_switches.empty()
+            ? topo_->all_paths(flow.src_host, flow.dst_host)
+            : topo_->active_paths(flow.src_host, flow.dst_host,
+                                  config.allowed_switches);
+    if (candidates.empty()) {
+      // The restricted subnet disconnects this pair entirely.
+      last_overloaded_ = true;
+      result.feasible = false;
+      if (!options_.best_effort_overflow) {
+        result.flow_paths.assign(flows.size(), {});
+        return result;
+      }
+      continue;
+    }
+
+    // Pick the best feasible path. MinimizeSwitches: fewest newly-activated
+    // switches (consolidation); BalanceLoad: lowest resulting bottleneck
+    // utilization (spreading). Ties go to the leftmost path.
+    std::size_t best = candidates.size();
+    double best_score = std::numeric_limits<double>::max();
+    for (std::size_t p = 0; p < candidates.size(); ++p) {
+      const Path& path = candidates[p];
+      bool fits = true;
+      double min_headroom = std::numeric_limits<double>::infinity();
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const Bandwidth r = residual[arc_slot(path, h)];
+        min_headroom = std::min(min_headroom, r - arc_need(flow, path, h));
+        if (r + 1e-9 < arc_need(flow, path, h)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      double score;
+      if (options_.objective == PlacementObjective::MinimizeSwitches) {
+        int new_switches = 0;
+        for (NodeId n : path) {
+          if (graph.is_switch(n) &&
+              !result.switch_on[static_cast<std::size_t>(n)]) {
+            ++new_switches;
+          }
+        }
+        score = new_switches;
+      } else {
+        // Most residual headroom after placement wins (negate: lower is
+        // better).
+        score = -min_headroom;
+      }
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best = p;
+      }
+    }
+
+    if (best == candidates.size()) {
+      if (!options_.best_effort_overflow) {
+        result.feasible = false;
+        result.flow_paths.assign(flows.size(), {});
+        return result;
+      }
+      // Overflow fallback: the path with the largest bottleneck residual.
+      last_overloaded_ = true;
+      Bandwidth best_bottleneck = -std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < candidates.size(); ++p) {
+        Bandwidth bottleneck = std::numeric_limits<double>::infinity();
+        for (std::size_t h = 0; h + 1 < candidates[p].size(); ++h) {
+          bottleneck =
+              std::min(bottleneck, residual[arc_slot(candidates[p], h)]);
+        }
+        if (bottleneck > best_bottleneck) {
+          best_bottleneck = bottleneck;
+          best = p;
+        }
+      }
+    }
+
+    const Path& chosen = candidates[best];
+    for (std::size_t h = 0; h + 1 < chosen.size(); ++h) {
+      // May go negative on overflow.
+      residual[arc_slot(chosen, h)] -= arc_need(flow, chosen, h);
+    }
+    result.flow_paths[fi] = chosen;
+    activate_path(graph, chosen, result);
+  }
+
+  result.feasible = !last_overloaded_;
+  if (options_.best_effort_overflow && last_overloaded_) {
+    // Placement exists but violated the margin somewhere; callers treat
+    // this as "infeasible at this K" for optimization purposes.
+    result.feasible = false;
+  }
+  finalize_result(graph, config, result);
+  return result;
+}
+
+}  // namespace eprons

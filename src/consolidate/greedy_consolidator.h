@@ -1,0 +1,54 @@
+// Greedy bin-packing consolidation heuristic (paper section IV-B).
+//
+// "In real deployment, we design the heuristic algorithm (similar to the
+// greedy bin-packing algorithm in [2]) to accelerate the latency-aware
+// traffic consolidation." ElasticTree's greedy bin-packer routes each flow
+// on the leftmost subtree with sufficient residual capacity; ours
+// additionally (a) inflates latency-sensitive demands by K before packing,
+// and (b) prefers paths that activate the fewest *new* switches, breaking
+// ties to the leftmost path — which is exactly what consolidation means.
+//
+// Flows are packed largest-scaled-demand first (classic first-fit
+// decreasing), so elephants claim the left spine and mice fill gaps.
+#pragma once
+
+#include "consolidate/consolidation.h"
+
+namespace eprons {
+
+enum class PlacementObjective {
+  /// Consolidate: fewest newly-activated switches (power minimization).
+  MinimizeSwitches,
+  /// Spread: lowest resulting bottleneck utilization (ECMP-like balancing
+  /// across a pinned subnet, used when an aggregation policy fixes which
+  /// switches are on and power no longer depends on routing).
+  BalanceLoad,
+};
+
+struct GreedyConsolidatorOptions {
+  /// When true and a flow fits on no path, fall back to the path with the
+  /// most residual capacity and report the result infeasible=false but
+  /// keep `overloaded=true` diagnostics; when false, give up immediately.
+  bool best_effort_overflow = true;
+  PlacementObjective objective = PlacementObjective::MinimizeSwitches;
+};
+
+class GreedyConsolidator {
+ public:
+  explicit GreedyConsolidator(const Topology* topo,
+                              GreedyConsolidatorOptions options = {});
+
+  ConsolidationResult consolidate(const FlowSet& flows,
+                                  const ConsolidationConfig& config) const;
+
+  /// True if the last consolidate() had to overflow some link beyond the
+  /// safety margin (only possible with best_effort_overflow).
+  bool last_overloaded() const { return last_overloaded_; }
+
+ private:
+  const Topology* topo_;
+  GreedyConsolidatorOptions options_;
+  mutable bool last_overloaded_ = false;
+};
+
+}  // namespace eprons

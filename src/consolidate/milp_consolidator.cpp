@@ -1,0 +1,145 @@
+#include "consolidate/milp_consolidator.h"
+
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace eprons {
+
+MilpConsolidator::MilpConsolidator(const Topology* topo,
+                                   MilpConsolidatorOptions options)
+    : topo_(topo), options_(options) {}
+
+ConsolidationResult MilpConsolidator::consolidate(
+    const FlowSet& flows, const ConsolidationConfig& config) const {
+  const Graph& graph = topo_->graph();
+  ConsolidationResult result;
+  result.switch_on.assign(graph.num_nodes(), false);
+  result.link_on.assign(graph.num_links(), false);
+  for (const Node& n : graph.nodes()) {
+    if (n.type == NodeType::Host) {
+      result.switch_on[static_cast<std::size_t>(n.id)] = true;
+    }
+  }
+  if (flows.empty()) {
+    result.feasible = true;
+    result.flow_paths.clear();
+    finalize_result(graph, config, result);
+    return result;
+  }
+
+  lp::Model model(lp::Sense::Minimize);
+
+  // Y_u per switch, X_l per link.
+  std::vector<int> y_var(graph.num_nodes(), -1);
+  for (const Node& n : graph.nodes()) {
+    if (is_switch_type(n.type)) {
+      const int y = model.add_binary(strformat("Y_%s", n.name.c_str()),
+                                     config.switch_power);
+      y_var[static_cast<std::size_t>(n.id)] = y;
+      // Subnet restriction: pin disallowed switches off.
+      if (!config.allowed_switches.empty() &&
+          !config.allowed_switches[static_cast<std::size_t>(n.id)]) {
+        model.variable(y).upper = 0.0;
+      }
+    }
+  }
+  std::vector<int> x_var(graph.num_links(), -1);
+  for (const Link& l : graph.links()) {
+    x_var[static_cast<std::size_t>(l.id)] =
+        model.add_binary(strformat("X_%d", l.id), config.link_power);
+    // Eq. (7): a link can only be on if both switch endpoints are on.
+    for (NodeId end : {l.a, l.b}) {
+      if (graph.is_switch(end)) {
+        model.add_row(strformat("link%d_needs_%s", l.id,
+                                graph.node(end).name.c_str()),
+                      lp::RowType::LessEqual, 0.0,
+                      {{x_var[static_cast<std::size_t>(l.id)], 1.0},
+                       {y_var[static_cast<std::size_t>(end)], -1.0}});
+      }
+    }
+  }
+
+  // Z_{i,p} per flow path, and per-directed-arc demand accumulation.
+  // Directed arc key: (link id, forward?) where forward means a->b.
+  std::map<std::pair<LinkId, bool>, std::vector<lp::RowEntry>> arc_demand;
+  std::vector<std::vector<int>> z_vars(flows.size());
+  std::vector<std::vector<Path>> flow_paths(flows.size());
+
+  // As in the greedy heuristic, K reserves fabric headroom only: arcs
+  // touching a host are charged the unscaled demand (no routing choice
+  // exists there).
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Flow& flow = flows[i];
+    flow_paths[i] = topo_->all_paths(flow.src_host, flow.dst_host);
+    const double scaled = flow.scaled_demand(config.scale_factor_k);
+    std::vector<lp::RowEntry> choose;
+    for (std::size_t p = 0; p < flow_paths[i].size(); ++p) {
+      const int z = model.add_binary(
+          strformat("Z_f%zu_p%zu", i, p), 0.0);
+      z_vars[i].push_back(z);
+      choose.push_back({z, 1.0});
+      const Path& path = flow_paths[i][p];
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const LinkId lid = graph.find_link(path[h], path[h + 1]);
+        const bool forward = graph.link(lid).a == path[h];
+        const bool host_adjacent =
+            !graph.is_switch(path[h]) || !graph.is_switch(path[h + 1]);
+        const double arc_load = host_adjacent ? flow.demand : scaled;
+        if (arc_load > 0.0) {
+          arc_demand[{lid, forward}].push_back({z, arc_load});
+        } else {
+          // Zero-demand flows still require their path to be powered on.
+          arc_demand[{lid, forward}];  // ensure the arc row exists
+          model.add_row(strformat("f%zu_p%zu_on_%d", i, p, lid),
+                        lp::RowType::LessEqual, 0.0,
+                        {{z, 1.0},
+                         {x_var[static_cast<std::size_t>(lid)], -1.0}});
+        }
+      }
+    }
+    // Eq. (6)+(9): exactly one path (unsplittable routing).
+    model.add_row(strformat("route_f%zu", i), lp::RowType::Equal, 1.0,
+                  std::move(choose));
+  }
+
+  // Eq. (4): per-directed-arc capacity gated by the link's X.
+  for (auto& [arc, entries] : arc_demand) {
+    if (entries.empty()) continue;
+    const Link& l = graph.link(arc.first);
+    const Bandwidth usable = l.capacity - config.safety_margin;
+    std::vector<lp::RowEntry> row = entries;
+    row.push_back({x_var[static_cast<std::size_t>(arc.first)], -usable});
+    model.add_row(strformat("cap_l%d_%c", arc.first, arc.second ? 'f' : 'r'),
+                  lp::RowType::LessEqual, 0.0, std::move(row));
+  }
+
+  lp::MilpSolver solver(options_.milp);
+  const lp::Solution sol = solver.solve(model);
+  last_nodes_ = solver.last_node_count();
+  if (!sol.ok()) {
+    result.feasible = false;
+    return result;
+  }
+
+  result.feasible = true;
+  result.flow_paths.resize(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t p = 0; p < z_vars[i].size(); ++p) {
+      if (sol.x[static_cast<std::size_t>(z_vars[i][p])] > 0.5) {
+        result.flow_paths[i] = flow_paths[i][p];
+        break;
+      }
+    }
+  }
+  // Derive masks from the chosen paths (not raw X/Y, which the solver could
+  // leave on without traffic in degenerate zero-cost cases).
+  for (const Path& path : result.flow_paths) {
+    activate_path(graph, path, result);
+  }
+  finalize_result(graph, config, result);
+  return result;
+}
+
+}  // namespace eprons

@@ -1,0 +1,75 @@
+#include "consolidate/transition.h"
+
+#include <algorithm>
+
+namespace eprons {
+
+TransitionStats plan_transition(const Graph& graph,
+                                const std::vector<bool>& previous_on,
+                                const std::vector<bool>& next_on,
+                                const TransitionConfig& config) {
+  TransitionStats stats;
+  for (const Node& n : graph.nodes()) {
+    if (!is_switch_type(n.type)) continue;
+    const auto i = static_cast<std::size_t>(n.id);
+    const bool was = i < previous_on.size() && previous_on[i];
+    const bool want = i < next_on.size() && next_on[i];
+    if (!was && want) ++stats.switches_to_boot;
+    if (was && !want) ++stats.switches_to_off;
+  }
+  if (stats.switches_to_boot > 0) {
+    stats.unavailable_window = config.power_on_time;
+    // During the boot window the old subnet keeps carrying traffic while
+    // the booting switches already draw power: the overhead is the boot
+    // draw of the new switches, plus the switches scheduled to turn off
+    // that must stay on until the handover completes.
+    stats.overhead_energy =
+        config.power_on_time *
+        (stats.switches_to_boot * config.boot_power +
+         stats.switches_to_off * config.switch_power);
+  }
+  return stats;
+}
+
+TransitionController::TransitionController(const Graph* graph,
+                                           TransitionConfig config)
+    : graph_(graph),
+      config_(config),
+      actual_on_(graph->num_nodes(), false),
+      unused_epochs_(graph->num_nodes(), 0) {}
+
+const std::vector<bool>& TransitionController::step(
+    const std::vector<bool>& wanted_on) {
+  ++epochs_;
+  std::vector<bool> next = actual_on_;
+  int boots = 0;
+  for (const Node& n : graph_->nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    if (!is_switch_type(n.type)) {
+      next[i] = i < wanted_on.size() && wanted_on[i];
+      continue;
+    }
+    const bool want = i < wanted_on.size() && wanted_on[i];
+    if (want) {
+      if (!actual_on_[i] && !first_epoch_) ++boots;
+      next[i] = true;
+      unused_epochs_[i] = 0;
+    } else if (actual_on_[i]) {
+      // Linger: stay on as a backup path for `linger_epochs` epochs.
+      if (++unused_epochs_[i] > config_.linger_epochs) {
+        next[i] = false;
+      } else {
+        lingering_energy_ += config_.epoch_length * config_.switch_power;
+      }
+    }
+  }
+  if (boots > 0) {
+    boot_energy_ += config_.power_on_time * boots * config_.boot_power;
+    total_boots_ += boots;
+  }
+  first_epoch_ = false;
+  actual_on_ = std::move(next);
+  return actual_on_;
+}
+
+}  // namespace eprons

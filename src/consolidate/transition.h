@@ -1,0 +1,90 @@
+// Switch ON/OFF transition modeling between consolidation epochs.
+//
+// Section IV-B: "we ignore the switch ON/OFF transition overheads because
+// we use a software switch. However, our measurement on a HPE switch shows
+// that the power-on time is about 72.52 sec. We can avoid the transition
+// overheads by having 'backup' paths, as described in [5], or a novel
+// hardware design with sleep states [2]."
+//
+// This module quantifies that choice. Given the previous and next epoch's
+// active-switch masks it computes:
+//   * which switches must boot / power off,
+//   * the window during which newly-needed switches are still booting,
+//   * the energy cost of two mitigation strategies:
+//       - Cold       : turn switches on exactly when the new epoch needs
+//                      them; traffic must keep using the old subnet for
+//                      `power_on_time` (the boot window) — both subnets
+//                      effectively draw power during the window.
+//       - BackupPaths: never turn a switch off until it has been unused
+//                      for `linger_epochs` epochs; boots become rare at the
+//                      price of idling extra switches.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/types.h"
+
+namespace eprons {
+
+struct TransitionConfig {
+  /// Measured HPE E3800 power-on time (seconds -> us).
+  SimTime power_on_time = sec(72.52);
+  /// Active power of a switch while booting (assumed full draw).
+  Power boot_power = 36.0;
+  /// Steady active switch power.
+  Power switch_power = 36.0;
+  /// Epoch length between re-optimizations (10 min, section IV-B).
+  SimTime epoch_length = sec(600.0);
+  /// BackupPaths: epochs a switch stays on after last being needed.
+  int linger_epochs = 1;
+};
+
+struct TransitionStats {
+  int switches_to_boot = 0;
+  int switches_to_off = 0;
+  /// Time during which the new subnet is not fully available, us.
+  SimTime unavailable_window = 0.0;
+  /// Extra energy of the epoch versus an ideal instant transition, uJ.
+  Energy overhead_energy = 0.0;
+};
+
+/// Diffs two NodeId-indexed masks (hosts ignored).
+TransitionStats plan_transition(const Graph& graph,
+                                const std::vector<bool>& previous_on,
+                                const std::vector<bool>& next_on,
+                                const TransitionConfig& config);
+
+/// Stateful helper applying the BackupPaths linger policy across a sequence
+/// of epochs: feed the *wanted* mask per epoch, get the *actual* mask (with
+/// lingering switches) plus accumulated statistics.
+class TransitionController {
+ public:
+  explicit TransitionController(const Graph* graph,
+                                TransitionConfig config = {});
+
+  /// Advances one epoch. Returns the mask actually powered this epoch.
+  const std::vector<bool>& step(const std::vector<bool>& wanted_on);
+
+  const std::vector<bool>& current_mask() const { return actual_on_; }
+  /// Total boots that incurred a boot window so far.
+  int total_boots() const { return total_boots_; }
+  /// Energy drawn beyond the wanted masks' ideal energy, uJ.
+  Energy lingering_energy() const { return lingering_energy_; }
+  /// Boot-window energy overhead so far, uJ.
+  Energy boot_energy() const { return boot_energy_; }
+  int epochs() const { return epochs_; }
+
+ private:
+  const Graph* graph_;
+  TransitionConfig config_;
+  std::vector<bool> actual_on_;
+  std::vector<int> unused_epochs_;  // per node, since last wanted
+  bool first_epoch_ = true;
+  int total_boots_ = 0;
+  Energy lingering_energy_ = 0.0;
+  Energy boot_energy_ = 0.0;
+  int epochs_ = 0;
+};
+
+}  // namespace eprons

@@ -1,0 +1,65 @@
+#include "core/epoch_controller.h"
+
+#include <cmath>
+
+#include "topo/aggregation.h"
+
+namespace eprons {
+
+EpochController::EpochController(const Topology* topo,
+                                 const ServiceModel* service_model,
+                                 const ServerPowerModel* power_model,
+                                 EpochControllerConfig config)
+    : topo_(topo),
+      service_model_(service_model),
+      power_model_(power_model),
+      config_(std::move(config)),
+      predictor_(config_.predictor),
+      transitions_(&topo->graph(), config_.transition) {}
+
+EpochReport EpochController::run_epoch(const FlowSet& true_background,
+                                       double utilization, Rng& rng) {
+  EpochReport report;
+  report.epoch = epoch_++;
+
+  // (i) Measure: noisy rate observations -> 90th percentile prediction.
+  FlowSet predicted;
+  double ratio_sum = 0.0;
+  for (const Flow& flow : true_background.flows()) {
+    for (int s = 0; s < config_.samples_per_epoch; ++s) {
+      const double observed =
+          flow.demand * rng.lognormal(0.0, config_.observation_sigma);
+      predictor_.add_sample(flow.id, observed);
+    }
+    const Bandwidth demand = predictor_.predict(flow.id);
+    predicted.add(flow.src_host, flow.dst_host, demand, flow.cls);
+    if (flow.demand > 0.0) ratio_sum += demand / flow.demand;
+  }
+  report.prediction_ratio =
+      true_background.empty()
+          ? 0.0
+          : ratio_sum / static_cast<double>(true_background.size());
+
+  // (ii) Optimize on the predicted demands.
+  const JointOptimizer optimizer(topo_, service_model_, power_model_,
+                                 config_.joint);
+  const JointPlan plan = optimizer.optimize(predicted, utilization);
+  report.chosen_k = plan.k;
+  report.feasible = plan.feasible;
+  report.predicted_total = plan.total_power;
+  report.wanted_switches = plan.placement.active_switches;
+
+  // (iii) Reconfigure through the transition controller.
+  const std::vector<bool>& previous = transitions_.current_mask();
+  report.transition = plan_transition(topo_->graph(), previous,
+                                      plan.placement.switch_on,
+                                      config_.transition);
+  const std::vector<bool>& actual =
+      transitions_.step(plan.placement.switch_on);
+  report.actual_switches = count_active_switches(topo_->graph(), actual);
+  report.network_power =
+      report.actual_switches * config_.joint.consolidation.switch_power;
+  return report;
+}
+
+}  // namespace eprons

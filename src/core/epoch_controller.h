@@ -1,0 +1,74 @@
+// The paper's section II consolidation procedure as a runnable component:
+//
+//   "i) measure the traffic statistics and predict future bandwidth demand;
+//    ii) optimize the DCN power consumption by shifting flows ...;
+//    iii) reconfigure the flow forwarding rules."
+//
+// Each epoch (10 min, polled every 2 s by the POX controller in the paper)
+// the controller: feeds noisy per-flow rate observations to the
+// 90th-percentile demand predictor, runs the joint optimizer on the
+// *predicted* demands, and hands the resulting subnet to the transition
+// controller (which applies the backup-path linger policy so the 72.52 s
+// switch boot time rarely sits on the datapath).
+#pragma once
+
+#include "consolidate/transition.h"
+#include "core/joint_optimizer.h"
+#include "flow/demand_predictor.h"
+
+namespace eprons {
+
+struct EpochControllerConfig {
+  JointOptimizerConfig joint;
+  TransitionConfig transition;
+  DemandPredictorConfig predictor;
+  /// Rate observations per flow per epoch (10 min / 2 s polling = 300).
+  int samples_per_epoch = 300;
+  /// Multiplicative noise of each observation around the true rate
+  /// (log-normal sigma), modeling measurement + traffic variability.
+  double observation_sigma = 0.2;
+};
+
+struct EpochReport {
+  int epoch = 0;
+  double chosen_k = 1.0;
+  bool feasible = false;
+  int wanted_switches = 0;
+  /// Switches actually on this epoch (includes lingering backups).
+  int actual_switches = 0;
+  TransitionStats transition;
+  Power network_power = 0.0;      // actual mask * switch power
+  Power predicted_total = 0.0;    // optimizer's estimate
+  /// Mean ratio of predicted to true demand across flows (prediction
+  /// conservatism; ~1.1-1.4 with a 90th-percentile predictor).
+  double prediction_ratio = 0.0;
+};
+
+class EpochController {
+ public:
+  EpochController(const Topology* topo, const ServiceModel* service_model,
+                  const ServerPowerModel* power_model,
+                  EpochControllerConfig config = {});
+
+  /// Runs one epoch against ground-truth background demands. The controller
+  /// never sees `true_background` directly — only noisy rate samples.
+  EpochReport run_epoch(const FlowSet& true_background, double utilization,
+                        Rng& rng);
+
+  const std::vector<bool>& current_mask() const {
+    return transitions_.current_mask();
+  }
+  const TransitionController& transitions() const { return transitions_; }
+  int epochs_run() const { return epoch_; }
+
+ private:
+  const Topology* topo_;
+  const ServiceModel* service_model_;
+  const ServerPowerModel* power_model_;
+  EpochControllerConfig config_;
+  DemandPredictor predictor_;
+  TransitionController transitions_;
+  int epoch_ = 0;
+};
+
+}  // namespace eprons

@@ -1,0 +1,109 @@
+#include "core/joint_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace eprons {
+
+JointOptimizer::JointOptimizer(const Topology* topo,
+                               const ServiceModel* service_model,
+                               const ServerPowerModel* power_model,
+                               JointOptimizerConfig config)
+    : topo_(topo),
+      service_model_(service_model),
+      power_model_(power_model),
+      config_(std::move(config)) {}
+
+JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
+                                     double utilization, double k) const {
+  JointPlan plan;
+  plan.k = k;
+
+  // Assemble background + query flows (same layout as run_search_scenario).
+  for (const Flow& f : background.flows()) {
+    plan.flows.add(f.src_host, f.dst_host, f.demand, f.cls);
+  }
+  const int hosts = topo_->num_hosts();
+  plan.request_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
+  plan.reply_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
+  for (int h = 0; h < hosts; ++h) {
+    if (h == config_.aggregator_host) continue;
+    plan.request_flow[static_cast<std::size_t>(h)] =
+        plan.flows.add(config_.aggregator_host, h,
+                       config_.query_request_demand,
+                       FlowClass::LatencySensitive);
+    plan.reply_flow[static_cast<std::size_t>(h)] =
+        plan.flows.add(h, config_.aggregator_host,
+                       config_.query_reply_demand,
+                       FlowClass::LatencySensitive);
+  }
+
+  ConsolidationConfig consolidation = config_.consolidation;
+  consolidation.scale_factor_k = k;
+  const GreedyConsolidator consolidator(topo_);
+  plan.placement = consolidator.consolidate(plan.flows, consolidation);
+  plan.network_power = plan.placement.network_power;
+
+  // A margin-violating placement is never SLA-feasible, but it still has
+  // best-effort paths — evaluate them so optimize() can rank fallbacks.
+  const bool placement_ok = plan.placement.feasible;
+
+  // Latency model sees actual average query rates, not reservations.
+  const double lambda = query_arrival_rate_per_us(
+      *service_model_, power_model_->num_cores(), utilization);
+  const LinkUtilization load = scenario_offered_load(
+      topo_->graph(), plan.placement, plan.flows, plan.request_flow,
+      plan.reply_flow, query_stream_rate(lambda, 1000.0),
+      query_stream_rate(lambda, 2000.0));
+  plan.slack = estimate_network_slack(topo_->graph(), plan.placement, load,
+                                      plan.request_flow, plan.reply_flow,
+                                      config_.slack);
+
+  // Server budget: the SLA minus what the network actually needs at its
+  // 95th percentile round trip.
+  plan.effective_server_budget =
+      config_.latency_constraint - plan.slack.total_p95;
+  if (plan.effective_server_budget <= 0.0) {
+    plan.feasible = false;
+    plan.total_power = plan.network_power +
+                       hosts * power_model_->peak_power();
+    return plan;
+  }
+
+  const ServerPowerPredictor predictor(service_model_, power_model_,
+                                       config_.predictor);
+  plan.server = predictor.predict(utilization, plan.effective_server_budget);
+  plan.feasible = placement_ok && !plan.server.budget_infeasible;
+  plan.total_power =
+      plan.network_power + hosts * plan.server.server_power;
+  return plan;
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization) const {
+  JointPlan best;
+  bool have_best = false;
+  JointPlan fallback;
+  SimTime fallback_p95 = std::numeric_limits<double>::infinity();
+
+  for (double k = config_.k_min; k <= config_.k_max + 1e-9;
+       k += config_.k_step) {
+    JointPlan plan = plan_for_k(background, utilization, k);
+    if (plan.feasible) {
+      if (!have_best || plan.total_power < best.total_power) {
+        best = std::move(plan);
+        have_best = true;
+      }
+    } else if (!plan.flows.empty() && plan.slack.total_p95 > 0.0 &&
+               plan.slack.total_p95 < fallback_p95) {
+      fallback_p95 = plan.slack.total_p95;
+      fallback = std::move(plan);
+    }
+  }
+  if (have_best) return best;
+  // Nothing met the SLA: surface the least-bad network (largest K that
+  // still placed flows), marked infeasible so callers can alarm.
+  return fallback;
+}
+
+}  // namespace eprons

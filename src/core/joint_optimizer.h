@@ -1,0 +1,83 @@
+// The EPRONS joint optimizer (paper section IV, Fig. 7's "Optimizer").
+//
+// For each candidate scale factor K the optimizer: consolidates the traffic
+// (greedy bin-packing at production scale, exactly as section IV-B
+// prescribes), Monte-Carlo-estimates the network latency/slack of the
+// resulting placement, predicts the server power achievable with the
+// leftover budget, and finally picks the K minimizing predicted *total*
+// data-center power among latency-feasible candidates. This is where
+// "deliberately turn on more switches to let servers slow down" emerges:
+// a larger K costs switches but buys server slack.
+#pragma once
+
+#include "consolidate/greedy_consolidator.h"
+#include "sim/search_cluster.h"
+#include "core/server_power_predictor.h"
+#include "core/slack_estimator.h"
+#include "dvfs/service_model.h"
+#include "power/server_power.h"
+#include "topo/topology.h"
+
+namespace eprons {
+
+struct JointOptimizerConfig {
+  double k_min = 1.0;
+  double k_max = 5.0;
+  double k_step = 1.0;
+
+  /// End-to-end tail latency constraint and its server share, us.
+  SimTime latency_constraint = ms(30.0);
+  SimTime server_budget = ms(25.0);
+
+  ConsolidationConfig consolidation;
+  /// Reserved demand per query flow direction, Mbps.
+  Bandwidth query_request_demand = 10.0;
+  Bandwidth query_reply_demand = 20.0;
+  int aggregator_host = 0;
+
+  SlackEstimatorConfig slack;
+  ServerPowerPredictorConfig predictor;
+};
+
+struct JointPlan {
+  bool feasible = false;
+  double k = 1.0;
+  ConsolidationResult placement;
+  /// Query flow ids (host-indexed) within the planned flow set.
+  std::vector<FlowId> request_flow;
+  std::vector<FlowId> reply_flow;
+  /// The flow set that was placed (background + query flows).
+  FlowSet flows;
+  SlackEstimate slack;
+  ServerPowerPrediction server;
+  /// Server time budget handed to the DVFS layer, us.
+  SimTime effective_server_budget = 0.0;
+  Power network_power = 0.0;
+  Power total_power = 0.0;
+};
+
+class JointOptimizer {
+ public:
+  JointOptimizer(const Topology* topo, const ServiceModel* service_model,
+                 const ServerPowerModel* power_model,
+                 JointOptimizerConfig config = {});
+
+  const JointOptimizerConfig& config() const { return config_; }
+
+  /// Evaluates one candidate K (used directly by ablation benches).
+  JointPlan plan_for_k(const FlowSet& background, double utilization,
+                       double k) const;
+
+  /// Full K search: minimum predicted total power among feasible plans.
+  /// If no K is latency-feasible, returns the plan with the lowest
+  /// predicted tail latency, marked infeasible.
+  JointPlan optimize(const FlowSet& background, double utilization) const;
+
+ private:
+  const Topology* topo_;
+  const ServiceModel* service_model_;
+  const ServerPowerModel* power_model_;
+  JointOptimizerConfig config_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,65 @@
+#include "core/server_power_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eprons {
+
+ServerPowerPredictor::ServerPowerPredictor(const ServiceModel* service_model,
+                                           const ServerPowerModel* power_model,
+                                           ServerPowerPredictorConfig config)
+    : service_model_(service_model),
+      power_model_(power_model),
+      config_(config) {}
+
+ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
+                                                    SimTime budget) const {
+  ServerPowerPrediction out;
+  utilization = std::clamp(utilization, 0.0, 0.99);
+
+  // Expected queue position of an arriving request on its core: with
+  // per-core queues and busy fraction rho the geometric estimate is
+  // rho / (1 - rho); +1 for the request itself.
+  const double rho = utilization;
+  const double depth_est = rho / (1.0 - rho);
+  const std::size_t depth = 1 + std::min<std::size_t>(
+      config_.max_queue_depth - 1,
+      static_cast<std::size_t>(std::lround(depth_est)));
+
+  // Frequency a statistical policy would pick: the equivalent request (the
+  // arrival plus everything estimated ahead of it) must meet the budget at
+  // the target violation probability.
+  const DiscreteDistribution& equivalent =
+      service_model_->fresh_convolution(depth);
+  const auto& grid = service_model_->frequency_grid();
+  Freq chosen = grid.back();
+  bool found = false;
+  for (Freq f : grid) {
+    const double vp = service_model_->violation_probability(
+        equivalent, 0.0, budget, f);
+    if (vp <= config_.target_vp) {
+      chosen = f;
+      found = true;
+      break;
+    }
+  }
+  out.budget_infeasible = !found;
+  out.frequency = chosen;
+
+  // Slowdown inflates the busy fraction.
+  const SimTime s_fast =
+      service_model_->mean_service_time(service_model_->config().f_max);
+  const SimTime s_slow = service_model_->mean_service_time(chosen);
+  out.busy_fraction = std::min(0.999, utilization * s_slow / s_fast);
+
+  const int cores = power_model_->num_cores();
+  const Power core_active = power_model_->core_power(true, chosen);
+  const Power core_idle = power_model_->core_power(false, 0.0);
+  out.server_power =
+      power_model_->config().static_power +
+      cores * (out.busy_fraction * core_active +
+               (1.0 - out.busy_fraction) * core_idle);
+  return out;
+}
+
+}  // namespace eprons

@@ -1,0 +1,57 @@
+// First-order analytical server power model for the joint optimizer
+// (section IV-A: "we measure the server power consumption for different
+// utilizations and tail latency constraints that may then be used to
+// parameterize our model").
+//
+// Given a server time budget B (server SLA share + borrowed network slack)
+// and a target utilization u (defined at f_max), the predictor:
+//   1. estimates the expected queue depth a new request sees on a core
+//      (M/M/c-lite: depth ~ u / (1 - u) capped), and the frequency a
+//      statistical policy would pick so the equivalent request still meets
+//      B with the target miss probability;
+//   2. converts the slowdown into a busy fraction u * s(f) / s(f_max);
+//   3. returns static + sum over cores of busy * P(f) + idle * P_idle.
+//
+// It deliberately trades accuracy for speed: the joint optimizer evaluates
+// it once per (K, epoch); the full DES validates its decisions in the
+// figure benches.
+#pragma once
+
+#include "dvfs/service_model.h"
+#include "power/server_power.h"
+
+namespace eprons {
+
+struct ServerPowerPrediction {
+  Freq frequency = 0.0;
+  /// Busy fraction per core after slowdown.
+  double busy_fraction = 0.0;
+  /// Whole-server power (static + cores), W.
+  Power server_power = 0.0;
+  /// True if even f_max cannot meet the budget at the target VP.
+  bool budget_infeasible = false;
+};
+
+struct ServerPowerPredictorConfig {
+  double target_vp = 0.05;
+  /// Queue-depth cap used in the equivalent-request estimate.
+  std::size_t max_queue_depth = 8;
+};
+
+class ServerPowerPredictor {
+ public:
+  ServerPowerPredictor(const ServiceModel* service_model,
+                       const ServerPowerModel* power_model,
+                       ServerPowerPredictorConfig config = {});
+
+  /// Predicts power for one server at `utilization` (at f_max) with
+  /// per-request server time budget `budget` us.
+  ServerPowerPrediction predict(double utilization, SimTime budget) const;
+
+ private:
+  const ServiceModel* service_model_;
+  const ServerPowerModel* power_model_;
+  ServerPowerPredictorConfig config_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,51 @@
+#include "core/slack_estimator.h"
+
+#include "stats/percentile.h"
+
+namespace eprons {
+
+SlackEstimate estimate_network_slack(const Graph& graph,
+                                     const ConsolidationResult& placement,
+                                     const LinkUtilization& offered_load,
+                                     const std::vector<FlowId>& request_flows,
+                                     const std::vector<FlowId>& reply_flows,
+                                     const SlackEstimatorConfig& config) {
+  (void)graph;
+  Rng rng(config.seed);
+  PathLatencyEstimator estimator(&offered_load, config.link_model);
+  PercentileEstimator request_samples;
+  PercentileEstimator total_samples;
+
+  auto routed = [&](FlowId id) -> const Path* {
+    if (id < 0 ||
+        static_cast<std::size_t>(id) >= placement.flow_paths.size()) {
+      return nullptr;
+    }
+    const Path& p = placement.flow_paths[static_cast<std::size_t>(id)];
+    return p.size() >= 2 ? &p : nullptr;
+  };
+
+  for (std::size_t i = 0;
+       i < request_flows.size() && i < reply_flows.size(); ++i) {
+    const Path* req = routed(request_flows[i]);
+    const Path* rep = routed(reply_flows[i]);
+    if (!req || !rep) continue;
+    for (int s = 0; s < config.samples_per_pair; ++s) {
+      const SimTime lreq = estimator.sample_latency(*req, rng);
+      const SimTime lrep = estimator.sample_latency(*rep, rng);
+      request_samples.add(lreq);
+      total_samples.add(lreq + lrep);
+    }
+  }
+
+  SlackEstimate out;
+  if (request_samples.empty()) return out;
+  out.request_mean = request_samples.mean();
+  out.request_p95 = request_samples.quantile(0.95);
+  out.total_mean = total_samples.mean();
+  out.total_p95 = total_samples.quantile(0.95);
+  out.total_p99 = total_samples.quantile(0.99);
+  return out;
+}
+
+}  // namespace eprons

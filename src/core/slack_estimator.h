@@ -1,0 +1,45 @@
+// Network slack estimation for the joint optimizer (section IV-A).
+//
+// "In real deployments, it would be hard to predict network latency based on
+// current network conditions ... In EPRONS, we use a portion of the
+// application queries to train our model." Our equivalent: Monte-Carlo
+// sample the consolidated request/reply paths through the link latency
+// model at the placement's offered load, yielding mean/p95 request latency
+// and therefore the slack the server layer can borrow.
+#pragma once
+
+#include <vector>
+
+#include "consolidate/consolidation.h"
+#include "net/path_latency.h"
+#include "util/rng.h"
+
+namespace eprons {
+
+struct SlackEstimate {
+  /// Per-sub-request network latency over the request leg, us.
+  SimTime request_mean = 0.0;
+  SimTime request_p95 = 0.0;
+  /// Round trip (request + reply legs), us.
+  SimTime total_mean = 0.0;
+  SimTime total_p95 = 0.0;
+  SimTime total_p99 = 0.0;
+};
+
+struct SlackEstimatorConfig {
+  int samples_per_pair = 400;
+  LinkLatencyModel link_model;
+  std::uint64_t seed = 99;
+};
+
+/// Samples latency over every (request, reply) flow-path pair given in
+/// `request_flows` / `reply_flows` (parallel arrays of FlowIds into the
+/// placement). Pairs with unrouted paths are skipped.
+SlackEstimate estimate_network_slack(const Graph& graph,
+                                     const ConsolidationResult& placement,
+                                     const LinkUtilization& offered_load,
+                                     const std::vector<FlowId>& request_flows,
+                                     const std::vector<FlowId>& reply_flows,
+                                     const SlackEstimatorConfig& config);
+
+}  // namespace eprons

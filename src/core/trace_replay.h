@@ -1,0 +1,109 @@
+// 24-hour diurnal trace replay (paper Fig. 15): total system power under
+// no-power-management, TimeTrader, and EPRONS.
+//
+// Replaying 1440 minutes through the full DES would be needlessly slow, so
+// we do what the paper itself describes for EPRONS ("we use a portion of
+// the application queries to train our model"): calibrate each scheme's
+// behavior with full DES runs on a grid of diurnal operating points, then
+// interpolate along the trace.
+//
+// Scheme mapping:
+//   * NoPM       — every switch on, every core at f_max.
+//   * TimeTrader — every switch on (TimeTrader saves no DCN power; Fig. 15
+//     shows its network line flat at no-PM level); server power from DES
+//     runs with the "timetrader" policy.
+//   * EPRONS     — per-epoch the joint optimizer picks the scale factor K /
+//     subnet; server power from DES runs with the "eprons" policy on the
+//     optimized placement.
+#pragma once
+
+#include <vector>
+
+#include "core/joint_optimizer.h"
+#include "sim/search_cluster.h"
+#include "trace/diurnal.h"
+
+namespace eprons {
+
+enum class Scheme { NoPowerManagement, TimeTrader, Eprons };
+const char* scheme_name(Scheme scheme);
+
+struct TraceReplayConfig {
+  DiurnalTraceConfig trace;
+  /// Server utilization at 100% search load.
+  double peak_utilization = 0.5;
+  /// Background elephants in the DCN (demand scales with the trace).
+  int background_flows = 6;
+  std::uint64_t seed = 5;
+
+  /// Diurnal shape values (0 = trough, 1 = peak) at which the DES
+  /// calibrates each scheme; the replay interpolates between them.
+  std::vector<double> calibration_shapes = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  /// Scenario template for the calibration runs.
+  ScenarioConfig scenario;
+  /// Joint optimizer settings for the EPRONS scheme.
+  JointOptimizerConfig joint;
+};
+
+struct CalibrationPoint {
+  double shape = 0.0;  // diurnal shape value in [0, 1]
+  double utilization = 0.0;
+  double background_util = 0.0;
+  Power cpu_power_per_server = 0.0;
+  Power network_power = 0.0;
+  int active_switches = 0;
+  double subquery_miss_rate = 0.0;
+  double chosen_k = 1.0;  // EPRONS only
+};
+
+struct MinutePower {
+  int minute = 0;
+  Power server_power = 0.0;   // whole cluster
+  Power network_power = 0.0;  // whole DCN
+  Power total_power = 0.0;
+};
+
+struct ReplayResult {
+  Scheme scheme = Scheme::NoPowerManagement;
+  std::vector<CalibrationPoint> calibration;
+  std::vector<MinutePower> series;
+  Power average_server_power = 0.0;
+  Power average_network_power = 0.0;
+  Power average_total_power = 0.0;
+  Power peak_total_power = 0.0;
+  Power min_total_power = 0.0;
+};
+
+class TraceReplay {
+ public:
+  TraceReplay(const FatTree* topo, const ServiceModel* service_model,
+              const ServerPowerModel* power_model,
+              TraceReplayConfig config = {});
+
+  /// Calibrates (full DES at the grid points) and replays the 24-h trace.
+  ReplayResult replay(Scheme scheme) const;
+
+  /// Savings of `result` relative to a no-PM baseline result, in percent
+  /// of the baseline (Fig. 15(b)'s bars).
+  struct Savings {
+    double server_pct = 0.0;
+    double network_pct = 0.0;
+    double total_pct = 0.0;
+    /// Highest per-minute total-power saving (the paper's "up to 31.25%").
+    double peak_total_pct = 0.0;
+  };
+  static Savings savings(const ReplayResult& baseline,
+                         const ReplayResult& result);
+
+ private:
+  CalibrationPoint calibrate_point(Scheme scheme, double shape) const;
+  FlowSet background_at(double background_util, Rng& rng) const;
+
+  const FatTree* topo_;
+  const ServiceModel* service_model_;
+  const ServerPowerModel* power_model_;
+  TraceReplayConfig config_;
+};
+
+}  // namespace eprons

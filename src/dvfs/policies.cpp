@@ -1,0 +1,180 @@
+#include "dvfs/policies.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "dvfs/equivalent_queue.h"
+
+namespace eprons {
+
+Freq lowest_feasible_frequency(const std::vector<Freq>& grid,
+                               const std::function<bool(Freq)>& feasible) {
+  if (!feasible(grid.back())) return grid.back();
+  std::size_t lo = 0;
+  std::size_t hi = grid.size() - 1;  // known feasible
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(grid[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return grid[lo];
+}
+
+Freq MaxFreqPolicy::select_frequency(SimTime, std::span<const QueuedRequest>,
+                                     Work) {
+  return model_->config().f_max;
+}
+
+RubikPolicy::RubikPolicy(const ServiceModel* model,
+                         StatisticalPolicyConfig config,
+                         bool use_network_slack)
+    : DvfsPolicy(model),
+      config_(config),
+      use_network_slack_(use_network_slack) {}
+
+Freq RubikPolicy::select_frequency(SimTime now,
+                                   std::span<const QueuedRequest> queue,
+                                   Work in_service_done) {
+  const EquivalentQueue equivalents(model_, queue.size(), in_service_done);
+  // Feasible(f): every equivalent request meets the per-request miss budget.
+  auto feasible = [&](Freq f) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const double vp = model_->violation_probability(
+          equivalents.at(i), now, deadline_of(queue[i]), f);
+      if (vp > config_.target_vp) return false;
+    }
+    return true;
+  };
+  return lowest_feasible_frequency(model_->frequency_grid(), feasible);
+}
+
+EpronsServerPolicy::EpronsServerPolicy(const ServiceModel* model,
+                                       StatisticalPolicyConfig config,
+                                       EpronsFeatures features)
+    : DvfsPolicy(model), config_(config), features_(features) {}
+
+double EpronsServerPolicy::average_vp(SimTime now,
+                                      std::span<const QueuedRequest> queue,
+                                      Work in_service_done, Freq f) const {
+  const EquivalentQueue equivalents(model_, queue.size(), in_service_done);
+  double total = 0.0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    total += model_->violation_probability(equivalents.at(i), now,
+                                           deadline_of(queue[i]), f);
+  }
+  return total / static_cast<double>(queue.size());
+}
+
+Freq EpronsServerPolicy::select_frequency(SimTime now,
+                                          std::span<const QueuedRequest> queue,
+                                          Work in_service_done) {
+  const EquivalentQueue equivalents(model_, queue.size(), in_service_done);
+  // Feasible(f): the *average* VP across the queue meets the SLA miss
+  // budget (section III-A); individual requests may exceed it. The
+  // `average_vp=false` ablation reverts to Rubik's max-VP rule.
+  auto feasible = [&](Freq f) {
+    if (features_.average_vp) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        total += model_->violation_probability(equivalents.at(i), now,
+                                               deadline_of(queue[i]), f);
+      }
+      return total <= config_.target_vp * static_cast<double>(queue.size());
+    }
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (model_->violation_probability(equivalents.at(i), now,
+                                        deadline_of(queue[i]), f) >
+          config_.target_vp) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return lowest_feasible_frequency(model_->frequency_grid(), feasible);
+}
+
+TimeTraderPolicy::TimeTraderPolicy(const ServiceModel* model,
+                                   TimeTraderConfig config)
+    : DvfsPolicy(model),
+      config_(config),
+      window_(config.window),
+      grid_index_(model->frequency_grid().size() - 1) {}
+
+Freq TimeTraderPolicy::current_frequency() const {
+  return model_->frequency_grid()[grid_index_];
+}
+
+void TimeTraderPolicy::on_request_complete(SimTime now, SimTime latency,
+                                           SimTime constraint) {
+  window_.add(latency);
+  latest_constraint_ = constraint;
+  maybe_adjust(now);
+}
+
+void TimeTraderPolicy::on_network_congestion(bool congested) {
+  congested_ = congested;
+}
+
+void TimeTraderPolicy::maybe_adjust(SimTime now) {
+  if (now - last_adjust_ < config_.adjust_period) return;
+  last_adjust_ = now;
+  if (window_.empty() || latest_constraint_ == kNoTime) return;
+  const double tail = window_.quantile(config_.percentile);
+  // ECN congestion: stop borrowing the network budget (conservative
+  // target), per the paper's description of TimeTrader's behavior.
+  const SimTime target =
+      congested_ ? latest_constraint_ - config_.network_budget
+                 : latest_constraint_;
+  const auto max_index = model_->frequency_grid().size() - 1;
+  if (tail > target) {
+    // Missing the SLA: climb aggressively (twice the down-step).
+    grid_index_ = std::min(max_index,
+                           grid_index_ + 2 * static_cast<std::size_t>(
+                                                 config_.step));
+  } else if (tail < config_.slack_threshold * target) {
+    const auto down = static_cast<std::size_t>(config_.step);
+    grid_index_ = grid_index_ >= down ? grid_index_ - down : 0;
+  }
+}
+
+Freq TimeTraderPolicy::select_frequency(SimTime now,
+                                        std::span<const QueuedRequest>,
+                                        Work) {
+  maybe_adjust(now);
+  return current_frequency();
+}
+
+std::unique_ptr<DvfsPolicy> make_policy(const std::string& name,
+                                        const ServiceModel* model,
+                                        double target_vp) {
+  StatisticalPolicyConfig stat;
+  stat.target_vp = target_vp;
+  if (name == "max") return std::make_unique<MaxFreqPolicy>(model);
+  if (name == "rubik") return std::make_unique<RubikPolicy>(model, stat);
+  if (name == "rubik+") return std::make_unique<RubikPlusPolicy>(model, stat);
+  if (name == "eprons") {
+    return std::make_unique<EpronsServerPolicy>(model, stat);
+  }
+  if (name == "eprons-noedf") {
+    EpronsFeatures f;
+    f.edf = false;
+    return std::make_unique<EpronsServerPolicy>(model, stat, f);
+  }
+  if (name == "eprons-noslack") {
+    EpronsFeatures f;
+    f.use_network_slack = false;
+    return std::make_unique<EpronsServerPolicy>(model, stat, f);
+  }
+  if (name == "eprons-maxvp") {
+    EpronsFeatures f;
+    f.average_vp = false;
+    return std::make_unique<EpronsServerPolicy>(model, stat, f);
+  }
+  if (name == "timetrader") return std::make_unique<TimeTraderPolicy>(model);
+  throw std::invalid_argument("unknown DVFS policy: " + name);
+}
+
+}  // namespace eprons

@@ -1,0 +1,74 @@
+// DVFS policy interface implemented by EPRONS-Server and the baselines.
+//
+// The simulated server core calls `select_frequency` at every request
+// arrival and departure instant (the decision points of section III-B) and
+// runs at the returned frequency until the next instant. Policies are
+// *statistical*: they see queue occupancy, deadlines, and how much work the
+// in-service request has already received, but never a request's actual
+// drawn work — exactly the information a real system has.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dvfs/service_model.h"
+#include "util/types.h"
+
+namespace eprons {
+
+/// Policy-visible view of one queued request. Index 0 of the queue span is
+/// the request currently in service.
+struct QueuedRequest {
+  RequestId id = 0;
+  /// When the request entered this core's queue.
+  SimTime arrival = 0.0;
+  /// Absolute deadline using the server budget only (Rubik's view).
+  SimTime deadline_server = 0.0;
+  /// Absolute deadline including measured per-request network slack
+  /// (Rubik+ / EPRONS-Server view). >= deadline_server.
+  SimTime deadline_with_slack = 0.0;
+};
+
+class DvfsPolicy {
+ public:
+  explicit DvfsPolicy(const ServiceModel* model) : model_(model) {}
+  virtual ~DvfsPolicy() = default;
+  DvfsPolicy(const DvfsPolicy&) = delete;
+  DvfsPolicy& operator=(const DvfsPolicy&) = delete;
+
+  /// Chooses the core frequency given the queue state. `in_service_done`
+  /// is the work (cycles) already retired on queue[0]; 0 if the core just
+  /// became busy. `queue` is in service order and never empty.
+  virtual Freq select_frequency(SimTime now,
+                                std::span<const QueuedRequest> queue,
+                                Work in_service_done) = 0;
+
+  /// Completion feedback (end-to-end latency vs constraint); only feedback
+  /// controllers (TimeTrader) use it.
+  virtual void on_request_complete(SimTime now, SimTime latency,
+                                   SimTime constraint) {
+    (void)now;
+    (void)latency;
+    (void)constraint;
+  }
+
+  /// Network congestion signal (TimeTrader monitors ECN marks / RTOs [7]):
+  /// when congested, TimeTrader stops borrowing the network budget and
+  /// turns conservative — the paper's section I critique of combining it
+  /// with traffic consolidation. Default: ignored.
+  virtual void on_network_congestion(bool congested) { (void)congested; }
+
+  /// True if the server should order the queue earliest-deadline-first.
+  /// (EPRONS-Server "reorders requests based on their deadlines",
+  /// section V-B2; the baselines are FIFO.)
+  virtual bool reorder_edf() const { return false; }
+
+  virtual std::string name() const = 0;
+
+  const ServiceModel& model() const { return *model_; }
+
+ protected:
+  const ServiceModel* model_;
+};
+
+}  // namespace eprons

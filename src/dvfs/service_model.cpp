@@ -1,0 +1,62 @@
+#include "dvfs/service_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eprons {
+
+ServiceModel::ServiceModel(DiscreteDistribution work, ServiceModelConfig config)
+    : work_(std::move(work)), config_(config) {
+  if (config_.f_min <= 0.0 || config_.f_max <= config_.f_min) {
+    throw std::invalid_argument("bad frequency range");
+  }
+  const double mu = config_.freq_independent_fraction;
+  if (mu < 0.0 || mu >= 1.0) {
+    throw std::invalid_argument("freq-independent fraction must be in [0,1)");
+  }
+  const int steps = static_cast<int>(
+      std::round((config_.f_max - config_.f_min) / config_.freq_step));
+  for (int i = 0; i <= steps; ++i) {
+    grid_.push_back(std::min(config_.f_max, config_.f_min + config_.freq_step * i));
+  }
+  conv_cache_.push_back(work_.truncated(config_.truncate_eps));
+}
+
+SimTime ServiceModel::service_time(Work work, Freq f) const {
+  const double mu = config_.freq_independent_fraction;
+  return (1.0 - mu) * work / (f * kCyclesPerUsPerGHz) +
+         mu * work / (config_.f_max * kCyclesPerUsPerGHz);
+}
+
+Work ServiceModel::work_capacity(SimTime duration, Freq f) const {
+  if (duration <= 0.0) return 0.0;
+  const double mu = config_.freq_independent_fraction;
+  // Invert t = W * ((1-mu)/f + mu/f_max) / 1000.
+  const double per_cycle_us =
+      ((1.0 - mu) / f + mu / config_.f_max) / kCyclesPerUsPerGHz;
+  return duration / per_cycle_us;
+}
+
+SimTime ServiceModel::mean_service_time(Freq f) const {
+  return service_time(work_.mean(), f);
+}
+
+double ServiceModel::violation_probability(
+    const DiscreteDistribution& equivalent, SimTime now, SimTime deadline,
+    Freq f) const {
+  if (deadline <= now) return 1.0;
+  return equivalent.ccdf(work_capacity(deadline - now, f));
+}
+
+const DiscreteDistribution& ServiceModel::fresh_convolution(
+    std::size_t count) const {
+  if (count == 0) throw std::invalid_argument("count must be >= 1");
+  while (conv_cache_.size() < count) {
+    conv_cache_.push_back(conv_cache_.back()
+                              .convolve(work_)
+                              .truncated(config_.truncate_eps));
+  }
+  return conv_cache_[count - 1];
+}
+
+}  // namespace eprons

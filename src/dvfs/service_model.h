@@ -1,0 +1,74 @@
+// Statistical request service model shared by all DVFS policies.
+//
+// A request is an amount of *work* W (CPU cycles) drawn from an empirical
+// distribution (the paper measured Xapian over a Wikipedia index; we
+// synthesize an equivalent heavy-tailed distribution — see workload/).
+// Service time at frequency f follows Rubik's split into frequency-dependent
+// and frequency-independent parts (paper footnote 1):
+//
+//   t(W, f) = (1 - mu) * W / f  +  mu * W / f_max
+//
+// The violation probability (paper section III-B) of a request whose
+// *equivalent* work distribution is We, at deadline D and frequency f, is
+//   VP = P[We > work_capacity(D - T_start, f)] = We.ccdf(omega)
+// which generalizes eq. (1)'s omega(D) = f * (D - T_start).
+//
+// The model also caches the "equivalent request" convolutions: the work of
+// k back-to-back fresh requests is work^(*k) — computed once per k and
+// reused, the optimization described in section III-C.
+#pragma once
+
+#include <vector>
+
+#include "stats/distribution.h"
+#include "util/types.h"
+
+namespace eprons {
+
+struct ServiceModelConfig {
+  /// Fraction of execution insensitive to frequency (memory-bound share).
+  double freq_independent_fraction = 0.15;
+  Freq f_min = 1.2;
+  Freq f_max = 2.7;
+  /// DVFS grid step, GHz (100 MHz per the paper).
+  double freq_step = 0.1;
+  /// Mass below this is trimmed after convolutions to bound PDF growth.
+  double truncate_eps = 1e-9;
+};
+
+class ServiceModel {
+ public:
+  ServiceModel(DiscreteDistribution work, ServiceModelConfig config = {});
+
+  const DiscreteDistribution& work() const { return work_; }
+  const ServiceModelConfig& config() const { return config_; }
+  const std::vector<Freq>& frequency_grid() const { return grid_; }
+
+  /// Service time of `work` cycles at frequency f, us.
+  SimTime service_time(Work work, Freq f) const;
+
+  /// Inverse: cycles retired in `duration` at frequency f (the omega(D) of
+  /// eq. (1), generalized for the frequency-independent part).
+  Work work_capacity(SimTime duration, Freq f) const;
+
+  /// Mean service time at a frequency (for utilization / load sizing).
+  SimTime mean_service_time(Freq f) const;
+
+  /// Violation probability of a request with equivalent distribution
+  /// `equivalent`, starting at `now` with absolute deadline `deadline`,
+  /// processed at frequency f. 1.0 when the deadline already passed.
+  double violation_probability(const DiscreteDistribution& equivalent,
+                               SimTime now, SimTime deadline, Freq f) const;
+
+  /// Work distribution of `count` fresh queued requests back to back
+  /// (count >= 1). Cached; thread-unsafe by design (one per core policy).
+  const DiscreteDistribution& fresh_convolution(std::size_t count) const;
+
+ private:
+  DiscreteDistribution work_;
+  ServiceModelConfig config_;
+  std::vector<Freq> grid_;
+  mutable std::vector<DiscreteDistribution> conv_cache_;  // [k-1] = work^(*k)
+};
+
+}  // namespace eprons

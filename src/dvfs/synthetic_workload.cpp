@@ -1,0 +1,47 @@
+#include "dvfs/synthetic_workload.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace eprons {
+
+double sample_service_time_ms(const SyntheticWorkloadConfig& config,
+                              Rng& rng) {
+  const double mean = config.mean_service_ms;
+  if (rng.bernoulli(config.tail_fraction)) {
+    return rng.bounded_pareto(config.tail_alpha, mean,
+                              config.tail_span * mean);
+  }
+  // Log-normal with the requested mean and CV:
+  //   sigma^2 = ln(1 + cv^2),  mu = ln(mean) - sigma^2 / 2.
+  // Clamped to the same bound as the tail so the work distribution has
+  // bounded support (keeps equivalent-distribution convolutions compact).
+  const double sigma2 = std::log(1.0 + config.body_cv * config.body_cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::min(rng.lognormal(mu, std::sqrt(sigma2)),
+                  config.tail_span * mean);
+}
+
+DiscreteDistribution make_search_work_distribution(
+    const SyntheticWorkloadConfig& config, Rng& rng) {
+  if (config.samples == 0) throw std::invalid_argument("samples must be > 0");
+  // At f_max the frequency-independent split is irrelevant:
+  //   t_us = W / (f_max * 1000)  =>  W = t_us * f_max * 1000.
+  const double cycles_per_ms =
+      config.service.f_max * kCyclesPerUsPerGHz * 1000.0;
+  std::vector<double> work;
+  work.reserve(config.samples);
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    work.push_back(sample_service_time_ms(config, rng) * cycles_per_ms);
+  }
+  return DiscreteDistribution::from_samples(work, config.bins);
+}
+
+ServiceModel make_search_service_model(const SyntheticWorkloadConfig& config,
+                                       Rng& rng) {
+  return ServiceModel(make_search_work_distribution(config, rng),
+                      config.service);
+}
+
+}  // namespace eprons

@@ -1,0 +1,38 @@
+// Dense two-phase primal simplex.
+//
+// Solves the continuous relaxation of a `Model` (integrality flags are
+// ignored here; `MilpSolver` layers branch-and-bound on top). The
+// consolidation LPs this library generates are small and dense-ish
+// (hundreds of rows/columns for a k=4 fat-tree), so a dense tableau with
+// Dantzig pricing plus a Bland anti-cycling fallback is both simple and
+// fast enough; the paper itself resorts to a heuristic for large instances.
+#pragma once
+
+#include "lp/model.h"
+
+namespace eprons::lp {
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases.
+  int max_iterations = 200000;
+  /// Numeric tolerance for reduced costs / feasibility.
+  double tol = 1e-9;
+  /// Switch from Dantzig to Bland's rule after this many consecutive
+  /// degenerate pivots (guards against cycling).
+  int degenerate_pivot_threshold = 200;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {});
+
+  /// Solves min/max c'x subject to the model's rows and bounds, treating
+  /// every variable as continuous. On success `Solution::x` has one value
+  /// per model variable, in order.
+  Solution solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace eprons::lp

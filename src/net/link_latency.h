@@ -1,0 +1,89 @@
+// Flow-level link latency model with the Fig. 1 utilization-latency knee.
+//
+// The paper measured search-query latency against link utilization on its
+// MiniNet platform and observed: flat, microsecond-scale latency at low
+// utilization; a sharp "knee" beyond which queueing pushes latency from
+// ~139 us to ~12 ms. We reproduce that shape with an M/M/1 sojourn-time
+// model, capped by a finite buffer:
+//
+//   S      = transmission time of an average packet
+//   W(rho) = S / (1 - rho)            (mean sojourn)
+//   capped at S * buffer_packets      (full buffer)
+//
+// Per-packet samples are exponential with mean W(rho) (M/M/1 sojourn is
+// exponential), truncated at the buffer cap — giving realistic tails for
+// the 95th/99th percentile figures.
+#pragma once
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace eprons {
+
+struct LinkLatencyConfig {
+  Bandwidth capacity_mbps = 1000.0;
+  double avg_packet_bytes = 1500.0;
+  /// Fixed per-hop cost (propagation + switch pipeline), us. Calibrated so
+  /// a 6-hop inter-pod path at low utilization costs ~139 us end to end
+  /// (Fig. 1's low-utilization anchor).
+  double base_latency_us = 11.0;
+  /// Queue capacity in packets; bounds worst-case queueing delay.
+  double buffer_packets = 1000.0;
+  /// Burst-queue mixture above the knee: elephant background flows send in
+  /// line-rate bursts, so once utilization passes `knee_utilization` a
+  /// growing fraction of packets land behind a standing queue. With
+  /// t = (util - knee) / (1 - knee) clamped to [0,1]:
+  ///   P[burst] = burst_coeff * t^2,  burst delay ~ U(0, t * buffer delay).
+  /// Below the knee the model is pure M/M/1 sojourn — matching Fig. 1's
+  /// flat-then-explosive measured curve and Fig. 10's ms-scale tails after
+  /// aggressive consolidation. Set burst_coeff = 0 for pure M/M/1.
+  double burst_coeff = 0.5;
+  double knee_utilization = 0.70;
+  /// Elephant burst collision: background flows transmit in line-rate
+  /// trains of ~burst_len_us; a packet sharing the link collides with an
+  /// ON period with probability ~ bursty utilization (the duty cycle) and
+  /// then waits the residual of the train. This is what makes consolidating
+  /// latency-sensitive flows onto elephant links expensive (Fig. 2/10/11)
+  /// and what the scale factor K buys relief from.
+  double burst_len_us = 3000.0;
+};
+
+class LinkLatencyModel {
+ public:
+  // Implicit on purpose: configs convert to models in aggregate
+  // initializers throughout the experiment structs.
+  LinkLatencyModel(LinkLatencyConfig config = {});  // NOLINT
+
+  const LinkLatencyConfig& config() const { return config_; }
+
+  /// Transmission time of one average packet on this link, us.
+  SimTime packet_service_time() const;
+
+  /// Mean per-hop latency at the given utilization (clamped to [0, ~1)).
+  SimTime mean_latency(double utilization) const;
+
+  /// Draws one packet's per-hop latency: base + Exp(mean sojourn), capped
+  /// at the full-buffer delay.
+  SimTime sample_latency(double utilization, Rng& rng) const;
+
+  /// As above, with an elephant-collision term: `bursty_utilization` is
+  /// the duty cycle of line-rate background trains on this link.
+  SimTime sample_latency(double utilization, double bursty_utilization,
+                         Rng& rng) const;
+
+  /// Mean including the burst-collision expectation (for planning).
+  SimTime mean_latency(double utilization, double bursty_utilization) const;
+
+  /// Upper bound of any sample (base + full buffer drain).
+  SimTime max_latency() const;
+
+ private:
+  /// Mean queueing+transmission sojourn (without base), us.
+  SimTime sojourn_mean(double utilization) const;
+  /// Burst mixture intensity t in [0,1]; 0 below the knee.
+  double burst_intensity(double utilization) const;
+
+  LinkLatencyConfig config_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,37 @@
+#include "net/path_latency.h"
+
+namespace eprons {
+
+PathLatencyEstimator::PathLatencyEstimator(const LinkUtilization* utilization,
+                                           LinkLatencyModel model)
+    : utilization_(utilization), model_(model) {}
+
+SimTime PathLatencyEstimator::mean_latency(const Path& path) const {
+  SimTime total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += model_.mean_latency(
+        utilization_->directed_utilization(path[i], path[i + 1]),
+        utilization_->directed_bursty_utilization(path[i], path[i + 1]));
+  }
+  return total;
+}
+
+SimTime PathLatencyEstimator::sample_latency(const Path& path,
+                                             Rng& rng) const {
+  SimTime total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += model_.sample_latency(
+        utilization_->directed_utilization(path[i], path[i + 1]),
+        utilization_->directed_bursty_utilization(path[i], path[i + 1]),
+        rng);
+  }
+  return total;
+}
+
+SimTime PathLatencyEstimator::max_latency(const Path& path) const {
+  if (path.size() < 2) return 0.0;
+  return static_cast<double>(path.size() - 1) *
+         (model_.max_latency() + model_.config().burst_len_us);
+}
+
+}  // namespace eprons

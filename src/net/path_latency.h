@@ -1,0 +1,37 @@
+// Path-level latency sampling: composes per-hop link latency over the hops
+// of a routed path, using the current link utilizations.
+//
+// This is the "latency monitor" input of Fig. 7: each request/reply samples
+// its network latency from the links its consolidated path traverses, and
+// EPRONS-Server receives the measured slack.
+#pragma once
+
+#include "net/link_latency.h"
+#include "net/link_utilization.h"
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace eprons {
+
+class PathLatencyEstimator {
+ public:
+  PathLatencyEstimator(const LinkUtilization* utilization,
+                       LinkLatencyModel model);
+
+  const LinkLatencyModel& model() const { return model_; }
+
+  /// Expected latency along `path` (sum of per-hop means).
+  SimTime mean_latency(const Path& path) const;
+
+  /// Draws one packet's end-to-end latency along `path`.
+  SimTime sample_latency(const Path& path, Rng& rng) const;
+
+  /// Worst possible latency along `path` (all buffers full).
+  SimTime max_latency(const Path& path) const;
+
+ private:
+  const LinkUtilization* utilization_;
+  LinkLatencyModel model_;
+};
+
+}  // namespace eprons

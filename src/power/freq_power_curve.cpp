@@ -1,0 +1,47 @@
+#include "power/freq_power_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eprons {
+
+FreqPowerCurve::FreqPowerCurve(Freq f_min, Power p_min, Freq f_max,
+                               Power p_max)
+    : f_min_(f_min), f_max_(f_max) {
+  if (!(f_min > 0.0) || !(f_max > f_min)) {
+    throw std::invalid_argument("invalid frequency range");
+  }
+  if (!(p_max > p_min) || !(p_min > 0.0)) {
+    throw std::invalid_argument("invalid power calibration points");
+  }
+  const double lo3 = f_min * f_min * f_min;
+  const double hi3 = f_max * f_max * f_max;
+  cube_coeff_ = (p_max - p_min) / (hi3 - lo3);
+  p_static_ = p_min - cube_coeff_ * lo3;
+  if (p_static_ < 0.0) p_static_ = 0.0;  // degenerate calibration guard
+}
+
+FreqPowerCurve FreqPowerCurve::xeon_e5_2697v2() {
+  return FreqPowerCurve(/*f_min=*/1.2, /*p_min=*/1.4, /*f_max=*/2.7,
+                        /*p_max=*/4.4);
+}
+
+Power FreqPowerCurve::active_power(Freq f) const {
+  f = std::clamp(f, f_min_, f_max_);
+  return p_static_ + cube_coeff_ * f * f * f;
+}
+
+std::vector<Freq> FreqPowerCurve::frequency_grid(double step_ghz) const {
+  std::vector<Freq> grid;
+  // Round the step count so 1.2..2.7 at 0.1 yields exactly 16 points.
+  const int steps =
+      static_cast<int>(std::round((f_max_ - f_min_) / step_ghz));
+  grid.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    grid.push_back(std::min(f_max_, f_min_ + step_ghz * i));
+  }
+  return grid;
+}
+
+}  // namespace eprons

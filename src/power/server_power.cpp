@@ -1,0 +1,69 @@
+#include "power/server_power.h"
+
+#include <stdexcept>
+
+namespace eprons {
+
+ServerPowerModel::ServerPowerModel(ServerPowerConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_cores <= 0) {
+    throw std::invalid_argument("server needs at least one core");
+  }
+}
+
+Power ServerPowerModel::core_power(bool active, Freq f) const {
+  return active ? config_.core_curve.active_power(f) : config_.core_idle_power;
+}
+
+Power ServerPowerModel::server_power(int active_cores, Freq f) const {
+  if (active_cores < 0) active_cores = 0;
+  if (active_cores > config_.num_cores) active_cores = config_.num_cores;
+  const int idle_cores = config_.num_cores - active_cores;
+  return config_.static_power +
+         active_cores * config_.core_curve.active_power(f) +
+         idle_cores * config_.core_idle_power;
+}
+
+Power ServerPowerModel::peak_power() const {
+  return server_power(config_.num_cores, config_.core_curve.f_max());
+}
+
+Power ServerPowerModel::idle_power() const { return server_power(0, 0.0); }
+
+CoreEnergyMeter::CoreEnergyMeter(const ServerPowerModel* model)
+    : model_(model) {}
+
+void CoreEnergyMeter::advance(SimTime now) {
+  if (start_ == kNoTime) {
+    start_ = last_ = now;
+    return;
+  }
+  if (now <= last_) return;
+  const SimTime dt = now - last_;
+  energy_ += model_->core_power(active_, freq_) * dt;
+  if (active_) busy_time_ += dt;
+  last_ = now;
+}
+
+void CoreEnergyMeter::reset(SimTime now) {
+  start_ = last_ = now;
+  energy_ = 0.0;
+  busy_time_ = 0.0;
+}
+
+void CoreEnergyMeter::set_state(SimTime now, bool active, Freq f) {
+  advance(now);
+  active_ = active;
+  freq_ = f;
+}
+
+Power CoreEnergyMeter::average_power() const {
+  const SimTime span = total_time();
+  return span > 0.0 ? energy_ / span : 0.0;
+}
+
+SimTime CoreEnergyMeter::total_time() const {
+  return start_ == kNoTime ? 0.0 : last_ - start_;
+}
+
+}  // namespace eprons

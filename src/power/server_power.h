@@ -1,0 +1,84 @@
+// Whole-server power model: per-core DVFS power + shared static power.
+//
+// Calibration (paper section V-A): 12-core CPU; the static power of the
+// rest of the system (motherboard, memory, ...) is 20 W, taken from the
+// dynamic/static ratio of a Huawei XH320 V2 server [22].
+#pragma once
+
+#include "power/freq_power_curve.h"
+#include "util/types.h"
+
+namespace eprons {
+
+struct ServerPowerConfig {
+  FreqPowerCurve core_curve = FreqPowerCurve::xeon_e5_2697v2();
+  int num_cores = 12;
+  /// Non-CPU platform power, always drawn while the server is on.
+  Power static_power = 20.0;
+  /// Power of a core that has no request to serve (clock-gated). The paper
+  /// does not report this figure; we assume a deep-idle core draws a small
+  /// fraction of its minimum-frequency active power. Identical across all
+  /// compared policies, so relative savings are unaffected.
+  Power core_idle_power = 0.5;
+};
+
+class ServerPowerModel {
+ public:
+  explicit ServerPowerModel(ServerPowerConfig config = {});
+
+  const ServerPowerConfig& config() const { return config_; }
+  const FreqPowerCurve& curve() const { return config_.core_curve; }
+  int num_cores() const { return config_.num_cores; }
+
+  /// Power of one core: active at `f`, or idle.
+  Power core_power(bool active, Freq f) const;
+
+  /// Server power given the count of active cores all running at `f`
+  /// (remaining cores idle).
+  Power server_power(int active_cores, Freq f) const;
+
+  /// Peak server power (all cores at f_max); the "no power management"
+  /// baseline reference for savings percentages.
+  Power peak_power() const;
+
+  /// Idle server power (all cores idle, platform on).
+  Power idle_power() const;
+
+ private:
+  ServerPowerConfig config_;
+};
+
+/// Integrates core energy over time as the DVFS policy switches frequencies.
+/// Call on every frequency / activity change; `finish` closes the interval.
+class CoreEnergyMeter {
+ public:
+  explicit CoreEnergyMeter(const ServerPowerModel* model);
+
+  /// Records state from `now` onward. Accumulates energy for the elapsed
+  /// interval at the previous state first.
+  void set_state(SimTime now, bool active, Freq f);
+
+  /// Accumulates up to `now` without changing state.
+  void advance(SimTime now);
+
+  /// Zeroes accumulated energy/busy time and restarts the metering window
+  /// at `now`, keeping the current activity state (used to discard warmup).
+  void reset(SimTime now);
+
+  Energy energy() const { return energy_; }
+  /// Average power over [first set_state, last advance].
+  Power average_power() const;
+  SimTime busy_time() const { return busy_time_; }
+  SimTime total_time() const;
+
+ private:
+  const ServerPowerModel* model_;
+  SimTime start_ = kNoTime;
+  SimTime last_ = 0.0;
+  bool active_ = false;
+  Freq freq_ = 0.0;
+  Energy energy_ = 0.0;
+  SimTime busy_time_ = 0.0;
+};
+
+}  // namespace eprons

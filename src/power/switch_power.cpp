@@ -1,0 +1,35 @@
+#include "power/switch_power.h"
+
+#include <algorithm>
+
+namespace eprons {
+
+SwitchPowerModel::SwitchPowerModel(SwitchPowerConfig config)
+    : config_(config) {}
+
+SwitchPowerModel SwitchPowerModel::hpe_e3800() {
+  SwitchPowerConfig config;
+  config.active_power = 97.5;
+  config.util_slope = 0.59;
+  config.port_power = 0.0;
+  return SwitchPowerModel(config);
+}
+
+SwitchPowerModel SwitchPowerModel::reference_4port() {
+  SwitchPowerConfig config;
+  config.active_power = 36.0;
+  config.util_slope = 0.0;
+  config.port_power = 0.0;
+  return SwitchPowerModel(config);
+}
+
+Power SwitchPowerModel::switch_power(bool on, double utilization,
+                                     int active_ports) const {
+  if (!on) return 0.0;
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  const int ports = std::max(active_ports, 0);
+  return config_.active_power + config_.util_slope * utilization +
+         config_.port_power * ports;
+}
+
+}  // namespace eprons

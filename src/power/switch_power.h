@@ -1,0 +1,46 @@
+// Switch and link power models.
+//
+// Two calibrations from the paper:
+//   * HPE E3800 J9574A measurement (Fig. 8): 97.5 W idle; going from 0 to
+//     100% link utilization adds only 0.59 W (0.6% of idle) regardless of
+//     2 vs 4 active ports -> treated as utilization-independent.
+//   * The system-level experiments (Fig. 13/15 captions) use the 4-port
+//     switch measurement from [23]: 36 W when active, 0 W when powered off.
+#pragma once
+
+#include "util/types.h"
+
+namespace eprons {
+
+struct SwitchPowerConfig {
+  /// Power drawn while the switch is on, independent of traffic.
+  Power active_power = 36.0;
+  /// Additional power at 100% utilization (linearly interpolated).
+  Power util_slope = 0.0;
+  /// Per-active-port power; the LP's per-link term l(u,v) is twice this
+  /// (a link keeps a port alive on both endpoints).
+  Power port_power = 0.0;
+};
+
+class SwitchPowerModel {
+ public:
+  explicit SwitchPowerModel(SwitchPowerConfig config = {});
+
+  /// The Fig. 8 HPE E3800 measurement calibration.
+  static SwitchPowerModel hpe_e3800();
+  /// The [23] 4-port model used in the paper's system-level results.
+  static SwitchPowerModel reference_4port();
+
+  const SwitchPowerConfig& config() const { return config_; }
+
+  /// Power of one switch given its state and mean port utilization [0,1].
+  Power switch_power(bool on, double utilization, int active_ports) const;
+
+  /// Power attributable to one bidirectional link being active.
+  Power link_power() const { return 2.0 * config_.port_power; }
+
+ private:
+  SwitchPowerConfig config_;
+};
+
+}  // namespace eprons

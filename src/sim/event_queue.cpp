@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace eprons {
+
+void EventQueue::schedule(SimTime when, Callback callback) {
+  if (when < now_) when = now_;
+  heap_.push(Entry{when, next_seq_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Callback callback) {
+  schedule(now_ + (delay > 0.0 ? delay : 0.0), std::move(callback));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop, so copy the entry (callbacks are cheap shared closures).
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  entry.callback();
+  return true;
+}
+
+void EventQueue::run_until(SimTime end) {
+  while (!heap_.empty() && heap_.top().when <= end) {
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace eprons

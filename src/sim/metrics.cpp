@@ -1,0 +1,16 @@
+#include "sim/metrics.h"
+
+namespace eprons {
+
+LatencyStats summarize(const PercentileEstimator& estimator) {
+  LatencyStats stats;
+  stats.count = estimator.count();
+  if (stats.count == 0) return stats;
+  stats.mean = estimator.mean();
+  stats.p95 = estimator.quantile(0.95);
+  stats.p99 = estimator.quantile(0.99);
+  stats.max = estimator.max();
+  return stats;
+}
+
+}  // namespace eprons

@@ -1,0 +1,85 @@
+// Discretized probability distributions on a uniform grid.
+//
+// This is the statistical substrate of EPRONS-Server: per-request *work*
+// (CPU cycles) is modeled as a discretized PDF; "equivalent requests" (paper
+// section III-A) are convolutions of such PDFs; violation probabilities are
+// CCDF lookups (section III-B, Fig. 5).
+//
+// Grid convention: mass p(i) sits at value offset + i * step. All pairwise
+// operations require identical `step` (checked); offsets may differ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace eprons {
+
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+
+  /// Takes ownership of probability masses; normalizes them to sum to 1.
+  /// Requires step > 0 and at least one strictly positive mass.
+  DiscreteDistribution(double offset, double step, std::vector<double> pmf);
+
+  /// Builds an empirical distribution from samples, binned on [min, max]
+  /// into `bins` equal cells (values at bin centers).
+  static DiscreteDistribution from_samples(const std::vector<double>& samples,
+                                           std::size_t bins);
+
+  /// All mass at a single point (degenerate distribution).
+  static DiscreteDistribution point_mass(double value, double step);
+
+  bool empty() const { return pmf_.empty(); }
+  double offset() const { return offset_; }
+  double step() const { return step_; }
+  std::size_t size() const { return pmf_.size(); }
+  const std::vector<double>& pmf() const { return pmf_; }
+
+  /// Largest value carrying mass (offset + (size-1)*step).
+  double max_value() const;
+  /// Smallest value carrying mass.
+  double min_value() const { return offset_; }
+
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+
+  /// P[X <= x], with linear interpolation between grid points.
+  double cdf(double x) const;
+  /// P[X > x] == 1 - cdf(x). This is the violation probability primitive.
+  double ccdf(double x) const;
+  /// Smallest x with P[X <= x] >= p (p in [0,1]).
+  double quantile(double p) const;
+
+  /// Distribution of X + Y for independent X, Y (FFT convolution).
+  /// This is the "equivalent request" operation. Steps must match.
+  DiscreteDistribution convolve(const DiscreteDistribution& other) const;
+
+  /// Conditional remaining distribution: given that `done` work has already
+  /// completed without the request finishing, distribution of X - done
+  /// restricted to X > done. Used at request *arrival* instants for the
+  /// in-service residual (paper section III-B). If all mass is <= done,
+  /// returns a point mass at zero.
+  DiscreteDistribution conditional_remaining(double done) const;
+
+  /// Drops trailing/leading bins whose total mass is below `eps` and
+  /// renormalizes; keeps convolution sizes bounded in long queues.
+  DiscreteDistribution truncated(double eps = 1e-9) const;
+
+  /// Draws one sample (inverse-CDF on the grid with intra-bin jitter).
+  double sample(Rng& rng) const;
+
+ private:
+  void normalize();
+
+  double offset_ = 0.0;
+  double step_ = 1.0;
+  std::vector<double> pmf_;
+  // Cached CDF (same indexing as pmf_): cdf_[i] = P[X <= offset + i*step].
+  std::vector<double> cdf_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,86 @@
+#include "stats/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eprons {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert((n & (n - 1)) == 0 && "fft size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= scale;
+  }
+}
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_size = a.size() + b.size() - 1;
+  // For tiny inputs the direct method is faster and exact.
+  if (a.size() * b.size() <= 1024) return convolve_direct(a, b);
+
+  const std::size_t n = next_pow2(out_size);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa, /*inverse=*/false);
+  fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, /*inverse=*/true);
+
+  std::vector<double> out(out_size);
+  for (std::size_t i = 0; i < out_size; ++i) {
+    const double v = fa[i].real();
+    out[i] = v < 0.0 ? 0.0 : v;  // clamp FFT round-off on probability mass
+  }
+  return out;
+}
+
+std::vector<double> convolve_direct(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += ai * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace eprons

@@ -1,0 +1,32 @@
+// Iterative radix-2 FFT used for fast convolution of work distributions.
+//
+// EPRONS-Server computes "equivalent request" distributions as convolutions
+// of per-request work PDFs (paper section III-A/C); the paper reports ~20us
+// per FFT convolution, which bench_micro_overheads reproduces.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace eprons {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place radix-2 Cooley-Tukey FFT. data.size() must be a power of two.
+/// inverse=true applies the inverse transform including the 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Linear convolution of two real sequences via FFT.
+/// Result size is a.size() + b.size() - 1. Small negative values produced by
+/// round-off are clamped to zero (inputs are probability masses).
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Direct O(n*m) convolution; reference implementation for testing and for
+/// very short sequences where FFT setup costs dominate.
+std::vector<double> convolve_direct(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+}  // namespace eprons

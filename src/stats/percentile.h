@@ -1,0 +1,75 @@
+// Percentile / tail-latency estimation.
+//
+// SLAs in the paper are 95th-percentile tail latencies; the latency monitor
+// and TimeTrader's feedback loop both need streaming percentile estimates.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace eprons {
+
+/// Exact percentile over all recorded samples. O(1) insert; quantile queries
+/// sort lazily. Suitable for end-of-run reporting.
+class PercentileEstimator {
+ public:
+  void add(double sample);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in [0,1]; nearest-rank (ceil) convention. Returns 0 when empty.
+  double quantile(double p) const;
+  double mean() const;
+  double max() const;
+  double min() const;
+  void clear();
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Sliding-window percentile over the most recent `capacity` samples;
+/// used by feedback controllers (TimeTrader) that react to recent tails.
+class WindowedPercentile {
+ public:
+  explicit WindowedPercentile(std::size_t capacity);
+
+  void add(double sample);
+  std::size_t count() const { return window_.size(); }
+  bool empty() const { return window_.empty(); }
+  double quantile(double p) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+/// Welford online mean/variance plus min/max; cheap per-sample bookkeeping.
+class OnlineStats {
+ public:
+  void add(double sample);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  void clear();
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace eprons

@@ -1,0 +1,82 @@
+// Undirected network graph with typed nodes and capacitated links.
+//
+// This is the substrate under the fat-tree builder, the consolidation LP
+// (which views each undirected link as two directed arcs), and the
+// flow-level latency model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace eprons {
+
+enum class NodeType { Host, EdgeSwitch, AggSwitch, CoreSwitch };
+
+const char* node_type_name(NodeType type);
+bool is_switch_type(NodeType type);
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeType type = NodeType::Host;
+  /// Pod index for pod-local nodes; -1 for core switches.
+  int pod = -1;
+  /// Position within its (type, pod) group.
+  int index = 0;
+  std::string name;
+};
+
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  Bandwidth capacity = 0.0;  // Mbps, per direction
+};
+
+/// A path is a node sequence; adjacent nodes must be linked.
+using Path = std::vector<NodeId>;
+
+class Graph {
+ public:
+  NodeId add_node(NodeType type, int pod, int index, std::string name);
+  /// Adds an undirected link; returns its id. Endpoints must exist.
+  LinkId add_link(NodeId a, NodeId b, Bandwidth capacity);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Links incident to `id`.
+  const std::vector<LinkId>& links_of(NodeId id) const;
+  /// The other endpoint of `link` relative to `from`.
+  NodeId other_end(LinkId link, NodeId from) const;
+  /// Link between a and b, or kInvalidLink.
+  LinkId find_link(NodeId a, NodeId b) const;
+
+  bool is_switch(NodeId id) const { return is_switch_type(node(id).type); }
+
+  /// All switch node ids (hosts excluded).
+  std::vector<NodeId> switches() const;
+  /// All host node ids.
+  std::vector<NodeId> hosts() const;
+
+  /// Converts a node path to the link ids it traverses. Throws if two
+  /// consecutive nodes are not adjacent.
+  std::vector<LinkId> path_links(const Path& path) const;
+
+  /// True if every node in `targets` is reachable from `source` using only
+  /// links whose both endpoints pass `node_ok` (hosts always pass).
+  bool connected(NodeId source, const std::vector<NodeId>& targets,
+                 const std::vector<bool>& switch_on) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,90 @@
+#include "topo/leaf_spine.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace eprons {
+
+LeafSpine::LeafSpine(int leaves, int spines, int hosts_per_leaf,
+                     Bandwidth link_capacity)
+    : leaves_(leaves),
+      spines_(spines),
+      hosts_per_leaf_(hosts_per_leaf),
+      capacity_(link_capacity) {
+  if (leaves < 2 || spines < 1 || hosts_per_leaf < 1) {
+    throw std::invalid_argument("leaf-spine needs >=2 leaves, >=1 spine, "
+                                ">=1 host per leaf");
+  }
+  for (int l = 0; l < leaves_; ++l) {
+    leaf_ids_.push_back(
+        graph_.add_node(NodeType::EdgeSwitch, l, l, strformat("leaf%d", l)));
+    for (int h = 0; h < hosts_per_leaf_; ++h) {
+      const int index = l * hosts_per_leaf_ + h;
+      const NodeId hid = graph_.add_node(NodeType::Host, l, index,
+                                         strformat("h%d", index));
+      hosts_.push_back(hid);
+      graph_.add_link(hid, leaf_ids_.back(), capacity_);
+    }
+  }
+  for (int s = 0; s < spines_; ++s) {
+    spine_ids_.push_back(graph_.add_node(NodeType::CoreSwitch, -1, s,
+                                         strformat("spine%d", s)));
+    for (int l = 0; l < leaves_; ++l) {
+      graph_.add_link(spine_ids_.back(), leaf_ids_[static_cast<std::size_t>(l)],
+                      capacity_);
+    }
+  }
+}
+
+NodeId LeafSpine::host(int index) const {
+  return hosts_.at(static_cast<std::size_t>(index));
+}
+
+NodeId LeafSpine::leaf(int index) const {
+  return leaf_ids_.at(static_cast<std::size_t>(index));
+}
+
+NodeId LeafSpine::spine(int index) const {
+  return spine_ids_.at(static_cast<std::size_t>(index));
+}
+
+std::vector<Path> LeafSpine::all_paths(int src_host, int dst_host) const {
+  if (src_host == dst_host) {
+    throw std::invalid_argument("src and dst hosts must differ");
+  }
+  const int src_leaf = leaf_of_host(src_host);
+  const int dst_leaf = leaf_of_host(dst_host);
+  const NodeId s = host(src_host);
+  const NodeId t = host(dst_host);
+  std::vector<Path> paths;
+  if (src_leaf == dst_leaf) {
+    paths.push_back({s, leaf(src_leaf), t});
+    return paths;
+  }
+  paths.reserve(static_cast<std::size_t>(spines_));
+  for (int sp = 0; sp < spines_; ++sp) {
+    paths.push_back({s, leaf(src_leaf), spine(sp), leaf(dst_leaf), t});
+  }
+  return paths;
+}
+
+std::vector<Path> LeafSpine::active_paths(
+    int src_host, int dst_host, const std::vector<bool>& switch_on) const {
+  std::vector<Path> out;
+  for (Path& path : all_paths(src_host, dst_host)) {
+    bool ok = true;
+    for (NodeId n : path) {
+      if (graph_.is_switch(n) &&
+          (static_cast<std::size_t>(n) >= switch_on.size() ||
+           !switch_on[static_cast<std::size_t>(n)])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace eprons

@@ -1,0 +1,39 @@
+// Abstract multipath data-center topology.
+//
+// The paper notes its optimization model "is independent of the network
+// topology" (section IV-B); this interface is what makes that true in
+// code: consolidators, the simulator, and the joint optimizer only need a
+// graph, host handles, and loop-free path enumeration. `FatTree` is the
+// paper's evaluation topology; `LeafSpine` demonstrates portability.
+#pragma once
+
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace eprons {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual const Graph& graph() const = 0;
+  virtual int num_hosts() const = 0;
+  virtual int num_switches() const = 0;
+  /// Uniform link capacity, Mbps (all paper topologies are homogeneous).
+  virtual Bandwidth link_capacity() const = 0;
+  /// NodeId of host `index` in [0, num_hosts).
+  virtual NodeId host(int index) const = 0;
+  /// Hosts attached to the same access switch as host 0, 1, ... — used by
+  /// workload generators to spread elephants across access switches.
+  virtual int hosts_per_access_switch() const = 0;
+
+  /// Every loop-free shortest path between two distinct hosts.
+  virtual std::vector<Path> all_paths(int src_host, int dst_host) const = 0;
+  /// As all_paths, filtered to paths whose switches are all on.
+  virtual std::vector<Path> active_paths(
+      int src_host, int dst_host,
+      const std::vector<bool>& switch_on) const = 0;
+};
+
+}  // namespace eprons

@@ -1,0 +1,42 @@
+#include "trace/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eprons {
+
+double diurnal_shape(const DiurnalTraceConfig& config, int minute) {
+  // Cosine day/night curve peaking at peak_minute: 1 at the peak, 0 at the
+  // opposite side of the day.
+  const double phase = 2.0 * M_PI *
+                       static_cast<double>(minute - config.peak_minute) /
+                       static_cast<double>(config.minutes);
+  return 0.5 + 0.5 * std::cos(phase);
+}
+
+std::vector<TracePoint> make_diurnal_trace(const DiurnalTraceConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TracePoint> trace;
+  trace.reserve(static_cast<std::size_t>(config.minutes));
+  for (int m = 0; m < config.minutes; ++m) {
+    const double shape = diurnal_shape(config, m);
+    TracePoint point;
+    point.minute = m;
+    point.search_load =
+        config.search_trough +
+        (config.search_peak - config.search_trough) * shape;
+    point.background_util =
+        config.background_trough +
+        (config.background_peak - config.background_trough) * shape;
+    if (config.noise > 0.0) {
+      point.search_load *= std::max(0.0, rng.normal(1.0, config.noise));
+      point.background_util *= std::max(0.0, rng.normal(1.0, config.noise));
+    }
+    point.search_load = std::clamp(point.search_load, 0.0, 1.0);
+    point.background_util = std::clamp(point.background_util, 0.0, 1.0);
+    trace.push_back(point);
+  }
+  return trace;
+}
+
+}  // namespace eprons

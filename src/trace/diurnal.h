@@ -1,0 +1,46 @@
+// Diurnal 24-hour workload trace generation (paper Fig. 14).
+//
+// The paper replays a Wikipedia request trace [21] whose search load and
+// background traffic both follow a strong day/night pattern. That trace is
+// not redistributable, so we synthesize one with the same shape read off
+// Fig. 14: search load swinging between ~20% and 100% of peak and
+// background traffic between ~10% and ~55% of link bandwidth, peaking
+// mid-day, with minute-level noise. One sample per minute over 24 h.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace eprons {
+
+struct DiurnalTraceConfig {
+  int minutes = 24 * 60;
+  /// Search load as a fraction of the provisioned peak (drives server
+  /// utilization: utilization = search_load * peak_utilization).
+  double search_trough = 0.20;
+  double search_peak = 1.00;
+  /// Background traffic as a fraction of link bandwidth.
+  double background_trough = 0.10;
+  double background_peak = 0.55;
+  /// Minute of day at which load peaks (Fig. 14 peaks mid-trace).
+  int peak_minute = 780;
+  /// Multiplicative minute-level noise (std dev, fraction of value).
+  double noise = 0.04;
+  std::uint64_t seed = 7;
+};
+
+struct TracePoint {
+  int minute = 0;
+  /// Fraction of peak search load in [0, 1].
+  double search_load = 0.0;
+  /// Background traffic as a fraction of link bandwidth in [0, 1].
+  double background_util = 0.0;
+};
+
+std::vector<TracePoint> make_diurnal_trace(const DiurnalTraceConfig& config);
+
+/// Peak-normalized diurnal curve value at `minute` (no noise), in [0, 1].
+double diurnal_shape(const DiurnalTraceConfig& config, int minute);
+
+}  // namespace eprons

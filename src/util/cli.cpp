@@ -1,0 +1,60 @@
+#include "util/cli.h"
+
+#include "util/strings.h"
+
+namespace eprons {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    values_[arg] = "";  // bare boolean flag
+  }
+}
+
+bool Cli::has_flag(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double value = fallback;
+  return parse_double(it->second, value) ? value : fallback;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  long long value = fallback;
+  return parse_int(it->second, value) ? value : fallback;
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace eprons

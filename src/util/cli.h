@@ -1,0 +1,40 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+//   Cli cli(argc, argv);
+//   const double util = cli.get_double("util", 0.3);
+//   const bool csv = cli.has_flag("csv");
+// Accepts --name=value and bare --name boolean flags (the space-separated
+// "--name value" form is deliberately unsupported: it is ambiguous with
+// boolean flags followed by positionals).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eprons {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line that were never queried; useful for
+  /// catching typos in experiment scripts.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eprons

@@ -1,0 +1,52 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace eprons {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  // Keep only the basename to avoid long absolute paths in output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << '[' << log_level_name(level_) << "] " << base << ':' << line
+          << ": ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs(text.c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace eprons

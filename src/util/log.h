@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe at the line level; writes to stderr.
+//
+// Usage:
+//   EPRONS_LOG(Info) << "consolidated " << n << " flows";
+// Levels below the global threshold compile to a cheap branch.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace eprons {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+/// Accumulates one log line and emits it (with a mutex) on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace eprons
+
+#define EPRONS_LOG(severity)                                              \
+  if (::eprons::LogLevel::severity < ::eprons::log_threshold()) {         \
+  } else                                                                  \
+    ::eprons::detail::LogLine(::eprons::LogLevel::severity, __FILE__, __LINE__)

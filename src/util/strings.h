@@ -1,0 +1,26 @@
+// Small string helpers shared by config parsing and table output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eprons {
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a double / long; returns false on malformed input.
+bool parse_double(std::string_view text, double& out);
+bool parse_int(std::string_view text, long long& out);
+
+}  // namespace eprons

@@ -1,0 +1,100 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace eprons {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<Cell> row) {
+  assert(row.size() == columns_.size() && "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  std::ostringstream os;
+  if (std::holds_alternative<std::string>(cell)) {
+    os << std::get<std::string>(cell);
+  } else if (std::holds_alternative<long long>(cell)) {
+    os << std::get<long long>(cell);
+  } else {
+    const double v = std::get<double>(cell);
+    if (std::isfinite(v)) {
+      os.setf(std::ios::fixed);
+      os.precision(precision_);
+      os << v;
+    } else {
+      os << (v > 0 ? "inf" : (v < 0 ? "-inf" : "nan"));
+    }
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 2; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& cells : rendered) emit_row(cells);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "," : "") << quote(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << quote(render_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+void Table::print(std::ostream& os, bool csv) const {
+  if (csv) {
+    print_csv(os);
+  } else {
+    print(os);
+  }
+}
+
+}  // namespace eprons

@@ -1,0 +1,74 @@
+// Core scalar types and unit conventions used across the EPRONS library.
+//
+// Conventions (documented once here, used everywhere):
+//   * time        : double, microseconds (us)
+//   * frequency   : double, GHz
+//   * work        : double, CPU cycles
+//   * bandwidth   : double, Mbps
+//   * power       : double, Watts
+//   * energy      : double, micro-Joules (Watts * us)
+//
+// With these units, a request of W cycles served at f GHz takes
+// W / (f * 1000) microseconds (1 GHz == 1000 cycles / us).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace eprons {
+
+/// Simulation time in microseconds.
+using SimTime = double;
+
+/// CPU frequency in GHz.
+using Freq = double;
+
+/// Amount of computational work in CPU cycles.
+using Work = double;
+
+/// Link / flow bandwidth in Mbps.
+using Bandwidth = double;
+
+/// Electrical power in Watts.
+using Power = double;
+
+/// Energy in micro-Joules (Watt-microseconds).
+using Energy = double;
+
+/// Cycles executed per microsecond at 1 GHz.
+inline constexpr double kCyclesPerUsPerGHz = 1000.0;
+
+/// Sentinel for "no time" / "unset deadline".
+inline constexpr SimTime kNoTime = std::numeric_limits<double>::infinity();
+
+/// Convert work at a frequency to service time (us).
+constexpr SimTime work_to_time(Work cycles, Freq ghz) {
+  return cycles / (ghz * kCyclesPerUsPerGHz);
+}
+
+/// Convert a service time (us) at a frequency back to work (cycles).
+constexpr Work time_to_work(SimTime us, Freq ghz) {
+  return us * ghz * kCyclesPerUsPerGHz;
+}
+
+/// Milliseconds to microseconds.
+constexpr SimTime ms(double v) { return v * 1000.0; }
+
+/// Seconds to microseconds.
+constexpr SimTime sec(double v) { return v * 1e6; }
+
+/// Microseconds to milliseconds (for reporting).
+constexpr double to_ms(SimTime us) { return us / 1000.0; }
+
+/// Identifier types. 32-bit indices are ample for our topologies.
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+using FlowId = std::int32_t;
+using ServerId = std::int32_t;
+using RequestId = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+}  // namespace eprons

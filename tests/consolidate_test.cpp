@@ -1,0 +1,242 @@
+// Tests for src/consolidate: the Fig. 2 scenario end-to-end on the exact
+// MILP, greedy-vs-MILP agreement, the arc LP lower bound, and edge cases.
+#include <gtest/gtest.h>
+
+#include "consolidate/arc_lp.h"
+#include "consolidate/greedy_consolidator.h"
+#include "consolidate/milp_consolidator.h"
+#include "util/rng.h"
+
+namespace eprons {
+namespace {
+
+// The Fig. 2 flow mix: one 900 Mbps latency-tolerant elephant plus two
+// 20 Mbps latency-sensitive flows on a 4-ary fat-tree with 1 Gbps links and
+// a 50 Mbps safety margin. Endpoints chosen in different pods so paths
+// traverse the core (as drawn in the figure).
+FlowSet fig2_flows() {
+  FlowSet flows;
+  flows.add(0, 12, 900.0, FlowClass::LatencyTolerant);   // red elephant
+  flows.add(1, 13, 20.0, FlowClass::LatencySensitive);   // green
+  flows.add(2, 14, 20.0, FlowClass::LatencySensitive);   // blue
+  return flows;
+}
+
+ConsolidationConfig fig2_config(double k) {
+  ConsolidationConfig config;
+  config.scale_factor_k = k;
+  config.safety_margin = 50.0;
+  config.switch_power = 36.0;
+  return config;
+}
+
+TEST(MilpConsolidator, Fig2AtK1SharesPath) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const auto result = milp.consolidate(fig2_flows(), fig2_config(1.0));
+  ASSERT_TRUE(result.feasible);
+  // 900 + 20 + 20 = 940 <= 950: all three flows share one agg/core spine.
+  // Hosts 0,1 sit under edge e0_0 and host 2 under e0_1 (likewise pod 3),
+  // so the minimal subnet is 4 edge + 2 agg + 1 core = 7 switches.
+  EXPECT_EQ(result.active_switches, 7);
+}
+
+TEST(MilpConsolidator, Fig2AtK2SplitsOneFlow) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const auto result = milp.consolidate(fig2_flows(), fig2_config(2.0));
+  ASSERT_TRUE(result.feasible);
+  // 900 + 40 + 40 = 980 > 950: at least one latency-sensitive flow must
+  // move to a second path, activating more switches.
+  EXPECT_GT(result.active_switches, 7);
+  // Verify capacity respected: no directed arc carries more than 950 of
+  // *scaled* demand.
+  LinkUtilization scaled(&ft.graph());
+  const FlowSet flows = fig2_flows();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    scaled.add_path_load(result.flow_paths[i], flows[i].scaled_demand(2.0));
+  }
+  EXPECT_LE(scaled.max_utilization(), 0.95 + 1e-9);
+}
+
+TEST(MilpConsolidator, Fig2ActiveSwitchesMonotoneInK) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  int prev = 0;
+  for (double k = 1.0; k <= 3.0; k += 1.0) {
+    const auto result = milp.consolidate(fig2_flows(), fig2_config(k));
+    ASSERT_TRUE(result.feasible) << "K=" << k;
+    EXPECT_GE(result.active_switches, prev) << "K=" << k;
+    prev = result.active_switches;
+  }
+}
+
+TEST(MilpConsolidator, EmptyFlowSetTurnsEverythingOff) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const auto result = milp.consolidate(FlowSet{}, fig2_config(1.0));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.active_switches, 0);
+  EXPECT_DOUBLE_EQ(result.network_power, 0.0);
+}
+
+TEST(MilpConsolidator, InfeasibleWhenDemandExceedsAllCuts) {
+  const FatTree ft(4);
+  FlowSet flows;
+  // Host 0 has a single 1 Gbps uplink; 2 x 600 Mbps from host 0 can never fit.
+  flows.add(0, 5, 600.0, FlowClass::LatencyTolerant);
+  flows.add(0, 9, 600.0, FlowClass::LatencyTolerant);
+  const MilpConsolidator milp(&ft);
+  const auto result = milp.consolidate(flows, fig2_config(1.0));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(MilpConsolidator, PathsConnectEndpoints) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const FlowSet flows = fig2_flows();
+  const auto result = milp.consolidate(flows, fig2_config(2.0));
+  ASSERT_TRUE(result.feasible);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    ASSERT_GE(result.flow_paths[i].size(), 2u);
+    EXPECT_EQ(result.flow_paths[i].front(), ft.host(flows[i].src_host));
+    EXPECT_EQ(result.flow_paths[i].back(), ft.host(flows[i].dst_host));
+  }
+}
+
+TEST(MilpConsolidator, ZeroDemandFlowStillGetsAPoweredPath) {
+  const FatTree ft(4);
+  FlowSet flows;
+  flows.add(0, 15, 0.0, FlowClass::LatencySensitive);
+  const MilpConsolidator milp(&ft);
+  const auto result = milp.consolidate(flows, fig2_config(1.0));
+  ASSERT_TRUE(result.feasible);
+  ASSERT_GE(result.flow_paths[0].size(), 2u);
+  // Its whole path must be marked on.
+  for (NodeId n : result.flow_paths[0]) {
+    EXPECT_TRUE(result.switch_on[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST(GreedyConsolidator, Fig2MatchesMilpSwitchCountAtK1) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  const auto result = greedy.consolidate(fig2_flows(), fig2_config(1.0));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.active_switches, 7);
+}
+
+TEST(GreedyConsolidator, NeverBeatsMilp) {
+  // Property: on random feasible instances the greedy objective is >= MILP.
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const GreedyConsolidator greedy(&ft);
+  Rng rng(53);
+  int compared = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    FlowSet flows;
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) {
+      const int src = static_cast<int>(rng.uniform_int(0, 15));
+      int dst = src;
+      while (dst == src) dst = static_cast<int>(rng.uniform_int(0, 15));
+      flows.add(src, dst, rng.uniform(50.0, 400.0),
+                rng.bernoulli(0.5) ? FlowClass::LatencySensitive
+                                   : FlowClass::LatencyTolerant);
+    }
+    const auto config = fig2_config(1.0);
+    const auto exact = milp.consolidate(flows, config);
+    const auto heur = greedy.consolidate(flows, config);
+    if (!exact.feasible || !heur.feasible) continue;
+    EXPECT_GE(heur.active_switches, exact.active_switches) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(GreedyConsolidator, RespectsCapacityWhenFeasible) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  Rng rng(59);
+  FlowSet flows;
+  for (int i = 0; i < 12; ++i) {
+    const int src = static_cast<int>(rng.uniform_int(0, 15));
+    int dst = src;
+    while (dst == src) dst = static_cast<int>(rng.uniform_int(0, 15));
+    flows.add(src, dst, rng.uniform(10.0, 200.0), FlowClass::LatencyTolerant);
+  }
+  const auto config = fig2_config(1.0);
+  const auto result = greedy.consolidate(flows, config);
+  ASSERT_TRUE(result.feasible);
+  LinkUtilization load(&ft.graph());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    load.add_path_load(result.flow_paths[i], flows[i].demand);
+  }
+  EXPECT_LE(load.max_utilization(), 0.95 + 1e-9);
+}
+
+TEST(GreedyConsolidator, OverflowReportedWhenImpossible) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  FlowSet flows;
+  flows.add(0, 5, 600.0, FlowClass::LatencyTolerant);
+  flows.add(0, 9, 600.0, FlowClass::LatencyTolerant);
+  const auto result = greedy.consolidate(flows, fig2_config(1.0));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(greedy.last_overloaded());
+  // Best-effort still produced usable paths for the simulator.
+  EXPECT_GE(result.flow_paths[0].size(), 2u);
+  EXPECT_GE(result.flow_paths[1].size(), 2u);
+}
+
+TEST(GreedyConsolidator, StrictModeGivesUp) {
+  const FatTree ft(4);
+  GreedyConsolidatorOptions options;
+  options.best_effort_overflow = false;
+  const GreedyConsolidator greedy(&ft, options);
+  FlowSet flows;
+  flows.add(0, 5, 600.0, FlowClass::LatencyTolerant);
+  flows.add(0, 9, 600.0, FlowClass::LatencyTolerant);
+  const auto result = greedy.consolidate(flows, fig2_config(1.0));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.flow_paths[0].empty());
+}
+
+TEST(ArcLp, LowerBoundsMilp) {
+  const FatTree ft(4);
+  const ArcLpRelaxation relax(&ft);
+  const MilpConsolidator milp(&ft);
+  const auto config = fig2_config(2.0);
+  const FlowSet flows = fig2_flows();
+  const auto bound = relax.solve(flows, config);
+  ASSERT_EQ(bound.status, lp::SolveStatus::Optimal);
+  const auto exact = milp.consolidate(flows, config);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_LE(bound.network_power_bound, exact.network_power + 1e-6);
+  EXPECT_GT(bound.network_power_bound, 0.0);
+}
+
+TEST(ArcLp, InfeasibleDetected) {
+  const FatTree ft(4);
+  const ArcLpRelaxation relax(&ft);
+  FlowSet flows;
+  flows.add(0, 5, 600.0, FlowClass::LatencyTolerant);
+  flows.add(0, 9, 600.0, FlowClass::LatencyTolerant);
+  const auto bound = relax.solve(flows, fig2_config(1.0));
+  EXPECT_EQ(bound.status, lp::SolveStatus::Infeasible);
+}
+
+TEST(ConsolidationResult, OfferedLoadUsesUnscaledDemand) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  FlowSet flows;
+  flows.add(0, 15, 100.0, FlowClass::LatencySensitive);
+  const auto config = fig2_config(3.0);  // reserve 300, carry 100
+  const auto result = greedy.consolidate(flows, config);
+  ASSERT_TRUE(result.feasible);
+  const LinkUtilization load = result.offered_load(ft.graph(), flows);
+  EXPECT_NEAR(load.max_utilization(), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace eprons

@@ -1,0 +1,270 @@
+// Tests for src/core and src/trace: slack estimation, the analytical server
+// power predictor, the joint K optimizer (including the paper's
+// "turning on switches can lower total power" behavior), and diurnal
+// trace generation / replay plumbing.
+#include <gtest/gtest.h>
+
+#include "core/joint_optimizer.h"
+#include "core/server_power_predictor.h"
+#include "core/slack_estimator.h"
+#include "core/trace_replay.h"
+#include "dvfs/synthetic_workload.h"
+#include "trace/diurnal.h"
+
+namespace eprons {
+namespace {
+
+ServiceModel core_model(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  SyntheticWorkloadConfig config;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+TEST(Diurnal, ShapePeaksAtConfiguredMinute) {
+  DiurnalTraceConfig config;
+  EXPECT_NEAR(diurnal_shape(config, config.peak_minute), 1.0, 1e-12);
+  EXPECT_NEAR(diurnal_shape(config, config.peak_minute + 720), 0.0, 1e-12);
+}
+
+TEST(Diurnal, TraceBoundsRespected) {
+  DiurnalTraceConfig config;
+  const auto trace = make_diurnal_trace(config);
+  ASSERT_EQ(trace.size(), 1440u);
+  for (const TracePoint& p : trace) {
+    EXPECT_GE(p.search_load, 0.0);
+    EXPECT_LE(p.search_load, 1.0);
+    EXPECT_GE(p.background_util, 0.0);
+    EXPECT_LE(p.background_util, 1.0);
+  }
+}
+
+TEST(Diurnal, PeakToTroughRatioMatchesFig14) {
+  DiurnalTraceConfig config;
+  config.noise = 0.0;
+  const auto trace = make_diurnal_trace(config);
+  double lo = 1.0, hi = 0.0;
+  for (const TracePoint& p : trace) {
+    lo = std::min(lo, p.search_load);
+    hi = std::max(hi, p.search_load);
+  }
+  EXPECT_NEAR(lo, config.search_trough, 1e-9);
+  EXPECT_NEAR(hi, config.search_peak, 1e-3);
+}
+
+TEST(Diurnal, DeterministicForSeed) {
+  DiurnalTraceConfig config;
+  const auto a = make_diurnal_trace(config);
+  const auto b = make_diurnal_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].search_load, b[i].search_load);
+  }
+}
+
+TEST(SlackEstimator, LoadedPathSlowerThanIdle) {
+  const FatTree topo(4);
+  FlowSet flows;
+  const FlowId req = flows.add(0, 15, 10.0, FlowClass::LatencySensitive);
+  const FlowId rep = flows.add(15, 0, 40.0, FlowClass::LatencySensitive);
+  const GreedyConsolidator greedy(&topo);
+  ConsolidationConfig config;
+  const auto placement = greedy.consolidate(flows, config);
+  ASSERT_TRUE(placement.feasible);
+
+  // Idle network.
+  LinkUtilization idle(&topo.graph());
+  const SlackEstimate idle_est = estimate_network_slack(
+      topo.graph(), placement, idle, {req}, {rep}, SlackEstimatorConfig{});
+
+  // Same paths with a hot elephant on them.
+  LinkUtilization hot(&topo.graph());
+  hot.add_path_load(placement.flow_paths[static_cast<std::size_t>(req)], 940.0);
+  hot.add_path_load(placement.flow_paths[static_cast<std::size_t>(rep)], 940.0);
+  const SlackEstimate hot_est = estimate_network_slack(
+      topo.graph(), placement, hot, {req}, {rep}, SlackEstimatorConfig{});
+
+  EXPECT_GT(hot_est.total_p95, idle_est.total_p95);
+  EXPECT_GT(idle_est.total_p95, 0.0);
+  EXPECT_GE(idle_est.total_p95, idle_est.total_mean);
+}
+
+TEST(SlackEstimator, UnroutedFlowsSkippedGracefully) {
+  const FatTree topo(4);
+  ConsolidationResult placement;  // nothing routed
+  LinkUtilization load(&topo.graph());
+  const SlackEstimate est = estimate_network_slack(
+      topo.graph(), placement, load, {0}, {1}, SlackEstimatorConfig{});
+  EXPECT_DOUBLE_EQ(est.total_p95, 0.0);
+}
+
+TEST(ServerPowerPredictor, MorePowerAtHigherUtilization) {
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const ServerPowerPredictor predictor(&model, &power);
+  const auto lo = predictor.predict(0.1, ms(25.0));
+  const auto hi = predictor.predict(0.5, ms(25.0));
+  EXPECT_GT(hi.server_power, lo.server_power);
+}
+
+TEST(ServerPowerPredictor, TighterBudgetCostsMorePower) {
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const ServerPowerPredictor predictor(&model, &power);
+  const auto tight = predictor.predict(0.3, ms(14.0));
+  const auto loose = predictor.predict(0.3, ms(40.0));
+  EXPECT_GE(tight.frequency, loose.frequency);
+  EXPECT_GE(tight.server_power, loose.server_power - 1e-9);
+}
+
+TEST(ServerPowerPredictor, ImpossibleBudgetFlagged) {
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const ServerPowerPredictor predictor(&model, &power);
+  const auto result = predictor.predict(0.3, 10.0);  // 10 us budget
+  EXPECT_TRUE(result.budget_infeasible);
+  EXPECT_DOUBLE_EQ(result.frequency, 2.7);
+}
+
+TEST(ServerPowerPredictor, BoundedByPeakAndIdle) {
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const ServerPowerPredictor predictor(&model, &power);
+  for (double u : {0.05, 0.2, 0.4, 0.6}) {
+    const auto p = predictor.predict(u, ms(25.0));
+    EXPECT_GE(p.server_power, power.idle_power() - 1e-9);
+    EXPECT_LE(p.server_power, power.peak_power() + 1e-9);
+  }
+}
+
+JointOptimizerConfig fast_joint_config() {
+  JointOptimizerConfig config;
+  config.slack.samples_per_pair = 150;
+  return config;
+}
+
+TEST(JointOptimizer, PrefersSmallSubnetWhenTrafficIsLight) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config());
+  Rng rng(13);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.01, 0.0, rng);
+  const JointPlan plan = optimizer.optimize(background, 0.1);
+  ASSERT_TRUE(plan.feasible);
+  // Light traffic: no reason to light up the whole fabric.
+  EXPECT_LT(plan.placement.active_switches, 20);
+}
+
+TEST(JointOptimizer, HeavierBackgroundActivatesMoreSwitches) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config());
+  Rng rng(13);
+  const FlowSet light =
+      make_background_flows(FlowGenConfig{}, 4, 0.01, 0.0, rng);
+  Rng rng2(13);
+  const FlowSet heavy =
+      make_background_flows(FlowGenConfig{}, 12, 0.45, 0.0, rng2);
+  const JointPlan light_plan = optimizer.optimize(light, 0.3);
+  const JointPlan heavy_plan = optimizer.optimize(heavy, 0.3);
+  EXPECT_GE(heavy_plan.placement.active_switches,
+            light_plan.placement.active_switches);
+}
+
+TEST(JointOptimizer, PlanForKMonotoneSwitchCount) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config());
+  Rng rng(17);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.2, 0.0, rng);
+  int prev = 0;
+  for (double k = 1.0; k <= 4.0; k += 1.0) {
+    const JointPlan plan = optimizer.plan_for_k(background, 0.3, k);
+    if (!plan.placement.feasible) continue;
+    EXPECT_GE(plan.placement.active_switches, prev) << "K=" << k;
+    prev = plan.placement.active_switches;
+  }
+}
+
+TEST(JointOptimizer, LargerKBuysNetworkSlack) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config());
+  Rng rng(19);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 10, 0.35, 0.0, rng);
+  const JointPlan k1 = optimizer.plan_for_k(background, 0.3, 1.0);
+  const JointPlan k4 = optimizer.plan_for_k(background, 0.3, 4.0);
+  if (k1.placement.feasible && k4.placement.feasible) {
+    EXPECT_LE(k4.slack.total_p95, k1.slack.total_p95 * 1.25);
+    EXPECT_GE(k4.effective_server_budget,
+              k1.effective_server_budget - ms(1.0));
+  }
+}
+
+TEST(JointOptimizer, TotalPowerIncludesServersAndNetwork) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config());
+  Rng rng(23);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.1, 0.0, rng);
+  const JointPlan plan = optimizer.optimize(background, 0.3);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.total_power,
+              plan.network_power + 16 * plan.server.server_power, 1e-6);
+  EXPECT_GT(plan.network_power, 0.0);
+}
+
+TEST(TraceReplay, SchemeNames) {
+  EXPECT_STREQ(scheme_name(Scheme::NoPowerManagement), "no-power-management");
+  EXPECT_STREQ(scheme_name(Scheme::Eprons), "eprons");
+}
+
+TraceReplayConfig fast_replay_config() {
+  TraceReplayConfig config;
+  config.calibration_shapes = {0.0, 1.0};
+  config.scenario.cluster.warmup = sec(0.3);
+  config.scenario.cluster.duration = sec(1.5);
+  config.scenario.cluster.feedback_warmup = sec(40.0);
+  config.joint.slack.samples_per_pair = 100;
+  return config;
+}
+
+TEST(TraceReplay, NoPmSeriesCoversWholeDay) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
+  const ReplayResult result = replay.replay(Scheme::NoPowerManagement);
+  EXPECT_EQ(result.series.size(), 1440u);
+  EXPECT_GT(result.average_total_power, 0.0);
+  // No-PM network power is the full fabric at all times.
+  for (const MinutePower& m : result.series) {
+    EXPECT_DOUBLE_EQ(m.network_power, 20 * 36.0);
+  }
+}
+
+TEST(TraceReplay, EpronsSavesVsNoPm) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
+  const ReplayResult base = replay.replay(Scheme::NoPowerManagement);
+  const ReplayResult eprons = replay.replay(Scheme::Eprons);
+  const auto savings = TraceReplay::savings(base, eprons);
+  EXPECT_GT(savings.total_pct, 5.0);
+  EXPECT_GT(savings.network_pct, 0.0);
+  EXPECT_GE(savings.peak_total_pct, savings.total_pct);
+}
+
+}  // namespace
+}  // namespace eprons

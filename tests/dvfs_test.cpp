@@ -1,0 +1,420 @@
+// Tests for src/dvfs: the service/work model, equivalent-queue convolution
+// cache, and all five policies (EPRONS-Server, Rubik, Rubik+, TimeTrader,
+// MaxFreq) — including the paper's core claims: average-VP selects a
+// frequency no higher than max-VP, and EPRONS-Server's choice still meets
+// the average miss budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dvfs/equivalent_queue.h"
+#include "dvfs/policies.h"
+#include "dvfs/synthetic_workload.h"
+#include "util/rng.h"
+
+namespace eprons {
+namespace {
+
+ServiceModel test_model(double mean_ms = 8.0, std::uint64_t seed = 11) {
+  Rng rng(seed);
+  SyntheticWorkloadConfig config;
+  config.mean_service_ms = mean_ms;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+TEST(ServiceModel, ServiceTimeScalesWithFrequency) {
+  const ServiceModel model = test_model();
+  const Work w = 10.0e6;  // 10 Mcycles
+  const SimTime fast = model.service_time(w, 2.7);
+  const SimTime slow = model.service_time(w, 1.2);
+  EXPECT_GT(slow, fast);
+  // With mu = 0.15, slowdown is less than the pure frequency ratio.
+  EXPECT_LT(slow / fast, 2.7 / 1.2);
+  EXPECT_GT(slow / fast, 1.0);
+}
+
+TEST(ServiceModel, WorkCapacityInvertsServiceTime) {
+  const ServiceModel model = test_model();
+  for (Freq f : {1.2, 1.8, 2.7}) {
+    const Work w = 5.0e6;
+    const SimTime t = model.service_time(w, f);
+    EXPECT_NEAR(model.work_capacity(t, f), w, w * 1e-9) << "f=" << f;
+  }
+}
+
+TEST(ServiceModel, MeanServiceMatchesConfiguredMean) {
+  const ServiceModel model = test_model(8.0);
+  // At f_max the synthetic distribution was built for ~8 ms mean (the
+  // Pareto tail raises it a little above the log-normal body's mean).
+  EXPECT_NEAR(model.mean_service_time(2.7), ms(8.0), ms(1.6));
+}
+
+TEST(ServiceModel, FrequencyGridMatchesPaper) {
+  const ServiceModel model = test_model();
+  const auto& grid = model.frequency_grid();
+  EXPECT_EQ(grid.size(), 16u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.2);
+  EXPECT_DOUBLE_EQ(grid.back(), 2.7);
+}
+
+TEST(ServiceModel, ViolationProbabilityMonotoneInFrequency) {
+  const ServiceModel model = test_model();
+  const auto& work = model.work();
+  double prev = 1.1;
+  for (Freq f : model.frequency_grid()) {
+    const double vp = model.violation_probability(work, 0.0, ms(10.0), f);
+    EXPECT_LE(vp, prev + 1e-12);
+    prev = vp;
+  }
+}
+
+TEST(ServiceModel, PastDeadlineIsCertainViolation) {
+  const ServiceModel model = test_model();
+  EXPECT_DOUBLE_EQ(
+      model.violation_probability(model.work(), 100.0, 50.0, 2.7), 1.0);
+}
+
+TEST(ServiceModel, FreshConvolutionMeansScale) {
+  const ServiceModel model = test_model();
+  const double m1 = model.fresh_convolution(1).mean();
+  const double m3 = model.fresh_convolution(3).mean();
+  EXPECT_NEAR(m3, 3.0 * m1, 3.0 * m1 * 0.01);
+}
+
+TEST(ServiceModel, RejectsBadConfig) {
+  Rng rng(1);
+  SyntheticWorkloadConfig wl;
+  wl.samples = 1000;
+  ServiceModelConfig bad = wl.service;
+  bad.freq_independent_fraction = 1.0;
+  EXPECT_THROW(
+      ServiceModel(make_search_work_distribution(wl, rng), bad),
+      std::invalid_argument);
+}
+
+TEST(EquivalentQueue, FreshUsesSharedCache) {
+  const ServiceModel model = test_model();
+  const EquivalentQueue q(&model, 3, /*in_service_done=*/0.0);
+  EXPECT_EQ(&q.at(0), &model.fresh_convolution(1));
+  EXPECT_EQ(&q.at(2), &model.fresh_convolution(3));
+}
+
+TEST(EquivalentQueue, ResidualShrinksHeadDistribution) {
+  const ServiceModel model = test_model();
+  const Work done = model.work().mean();
+  const EquivalentQueue q(&model, 2, done);
+  // The head's remaining-work mean is less than a fresh request's.
+  EXPECT_LT(q.at(0).mean(), model.work().mean());
+  // And the second request's equivalent still includes one fresh request.
+  EXPECT_GT(q.at(1).mean(), q.at(0).mean());
+}
+
+TEST(EquivalentQueue, ThrowsOnEmptyOrOutOfRange) {
+  const ServiceModel model = test_model();
+  EXPECT_THROW(EquivalentQueue(&model, 0, 0.0), std::invalid_argument);
+  const EquivalentQueue q(&model, 2, 0.0);
+  EXPECT_THROW(q.at(2), std::out_of_range);
+}
+
+QueuedRequest make_request(RequestId id, SimTime arrival, SimTime server_dl,
+                           SimTime slack_dl) {
+  QueuedRequest r;
+  r.id = id;
+  r.arrival = arrival;
+  r.deadline_server = server_dl;
+  r.deadline_with_slack = slack_dl;
+  return r;
+}
+
+TEST(Policies, MaxFreqAlwaysMax) {
+  const ServiceModel model = test_model();
+  MaxFreqPolicy policy(&model);
+  const QueuedRequest r = make_request(1, 0.0, ms(25.0), ms(27.0));
+  EXPECT_DOUBLE_EQ(
+      policy.select_frequency(0.0, std::span<const QueuedRequest>(&r, 1), 0.0),
+      2.7);
+}
+
+TEST(Policies, RubikMeetsPerRequestVp) {
+  const ServiceModel model = test_model();
+  RubikPolicy policy(&model);
+  const QueuedRequest r = make_request(1, 0.0, ms(25.0), ms(27.0));
+  const Freq f =
+      policy.select_frequency(0.0, std::span<const QueuedRequest>(&r, 1), 0.0);
+  EXPECT_LE(model.violation_probability(model.fresh_convolution(1), 0.0,
+                                        ms(25.0), f),
+            0.05 + 1e-12);
+  // And one grid step lower would violate (minimality), unless already at
+  // the grid bottom.
+  if (f > 1.2 + 1e-9) {
+    EXPECT_GT(model.violation_probability(model.fresh_convolution(1), 0.0,
+                                          ms(25.0), f - 0.1),
+              0.05);
+  }
+}
+
+TEST(Policies, RubikIgnoresSlackRubikPlusUsesIt) {
+  const ServiceModel model = test_model();
+  RubikPolicy rubik(&model);
+  RubikPlusPolicy rubik_plus(&model);
+  // Tight server deadline, generous slack: Rubik must run faster.
+  const QueuedRequest r = make_request(1, 0.0, ms(12.0), ms(20.0));
+  const Freq f_rubik = rubik.select_frequency(
+      0.0, std::span<const QueuedRequest>(&r, 1), 0.0);
+  const Freq f_plus = rubik_plus.select_frequency(
+      0.0, std::span<const QueuedRequest>(&r, 1), 0.0);
+  EXPECT_GE(f_rubik, f_plus);
+  EXPECT_GT(f_rubik, f_plus - 1e-12);  // strictly greater in this setup
+}
+
+TEST(Policies, EpronsNeverExceedsRubikPlusFrequency) {
+  // The paper's Fig. 4 claim: the average-VP frequency f_new is at most
+  // the max-VP frequency f2. Property-checked over random queues.
+  const ServiceModel model = test_model();
+  RubikPlusPolicy rubik_plus(&model);
+  EpronsServerPolicy eprons(&model);
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<QueuedRequest> queue;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    SimTime arrival = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const SimTime deadline = rng.uniform(ms(15.0), ms(40.0));
+      queue.push_back(make_request(i, arrival, deadline, deadline));
+      arrival += rng.uniform(0.0, ms(2.0));
+    }
+    const Freq f_plus = rubik_plus.select_frequency(
+        0.0, std::span<const QueuedRequest>(queue.data(), queue.size()), 0.0);
+    const Freq f_eprons = eprons.select_frequency(
+        0.0, std::span<const QueuedRequest>(queue.data(), queue.size()), 0.0);
+    EXPECT_LE(f_eprons, f_plus + 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(Policies, EpronsMeetsAverageVpBudget) {
+  const ServiceModel model = test_model();
+  EpronsServerPolicy eprons(&model);
+  std::vector<QueuedRequest> queue = {
+      make_request(1, 0.0, ms(25.0), ms(27.0)),
+      make_request(2, ms(1.0), ms(32.0), ms(36.0)),
+      make_request(3, ms(2.0), ms(40.0), ms(48.0)),
+  };
+  const std::span<const QueuedRequest> view(queue.data(), queue.size());
+  const Freq f = eprons.select_frequency(0.0, view, 0.0);
+  ASSERT_LT(f, 2.7) << "queue should be feasible below f_max";
+  EXPECT_LE(eprons.average_vp(0.0, view, 0.0, f), 0.05 + 1e-12);
+  if (f > 1.2 + 1e-9) {
+    EXPECT_GT(eprons.average_vp(0.0, view, 0.0, f - 0.1), 0.05);
+  }
+}
+
+TEST(Policies, EpronsAllowsIndividualViolationsAboveBudget) {
+  // The defining behavior (Fig. 4): with one tight and one loose request,
+  // the chosen frequency may give the tight request VP > 5% as long as the
+  // average holds.
+  const ServiceModel model = test_model();
+  EpronsServerPolicy eprons(&model);
+  std::vector<QueuedRequest> queue = {
+      make_request(1, 0.0, ms(14.0), ms(14.0)),   // tight
+      make_request(2, 0.0, ms(60.0), ms(60.0)),   // very loose
+  };
+  const std::span<const QueuedRequest> view(queue.data(), queue.size());
+  const Freq f = eprons.select_frequency(0.0, view, 0.0);
+  const double vp_tight = model.violation_probability(
+      model.fresh_convolution(1), 0.0, ms(14.0), f);
+  const double avg = eprons.average_vp(0.0, view, 0.0, f);
+  EXPECT_LE(avg, 0.05 + 1e-12);
+  // Rubik+ would have run fast enough for the tight one alone.
+  RubikPlusPolicy rubik_plus(&model);
+  const Freq f_plus = rubik_plus.select_frequency(0.0, view, 0.0);
+  EXPECT_LE(f, f_plus);
+  (void)vp_tight;  // informational; the average bound is the contract
+}
+
+TEST(Policies, EpronsRequestsEdfReorder) {
+  const ServiceModel model = test_model();
+  EpronsServerPolicy eprons(&model);
+  RubikPolicy rubik(&model);
+  EXPECT_TRUE(eprons.reorder_edf());
+  EXPECT_FALSE(rubik.reorder_edf());
+}
+
+TEST(Policies, ImpossibleDeadlineFallsBackToMaxFrequency) {
+  const ServiceModel model = test_model();
+  EpronsServerPolicy eprons(&model);
+  const QueuedRequest r = make_request(1, 0.0, 1.0, 1.0);  // 1 us deadline
+  EXPECT_DOUBLE_EQ(eprons.select_frequency(
+                       0.0, std::span<const QueuedRequest>(&r, 1), 0.0),
+                   2.7);
+}
+
+TEST(Policies, TimeTraderStartsAtMaxAndDecays) {
+  const ServiceModel model = test_model();
+  TimeTraderPolicy policy(&model);
+  EXPECT_DOUBLE_EQ(policy.current_frequency(), 2.7);
+  // Feed comfortable latencies over many periods: frequency must decay.
+  SimTime now = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    now += sec(0.5);
+    policy.on_request_complete(now, ms(10.0), ms(30.0));
+  }
+  EXPECT_LT(policy.current_frequency(), 2.7);
+}
+
+TEST(Policies, TimeTraderClimbsOnMisses) {
+  const ServiceModel model = test_model();
+  TimeTraderPolicy policy(&model);
+  SimTime now = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    now += sec(0.5);
+    policy.on_request_complete(now, ms(10.0), ms(30.0));
+  }
+  const Freq low = policy.current_frequency();
+  for (int i = 0; i < 100; ++i) {
+    now += sec(0.5);
+    policy.on_request_complete(now, ms(35.0), ms(30.0));
+  }
+  EXPECT_GT(policy.current_frequency(), low);
+}
+
+TEST(Policies, TimeTraderRespectsAdjustPeriod) {
+  const ServiceModel model = test_model();
+  TimeTraderPolicy policy(&model);
+  // Many completions within one period: at most one adjustment.
+  for (int i = 0; i < 50; ++i) {
+    policy.on_request_complete(ms(1.0 * i), ms(5.0), ms(30.0));
+  }
+  EXPECT_GE(policy.current_frequency(), 2.7 - 0.1 - 1e-12);
+}
+
+TEST(Policies, FactoryProducesAllNames) {
+  const ServiceModel model = test_model();
+  for (const char* name :
+       {"max", "rubik", "rubik+", "eprons", "timetrader", "eprons-noedf",
+        "eprons-noslack", "eprons-maxvp"}) {
+    const auto policy = make_policy(name, &model);
+    ASSERT_NE(policy, nullptr) << name;
+  }
+  EXPECT_THROW(make_policy("bogus", &model), std::invalid_argument);
+}
+
+TEST(Policies, EpronsMaxVpVariantMatchesRubikPlus) {
+  // Internal consistency: disabling the average-VP rule must reproduce the
+  // Rubik+ frequency choice exactly (same deadlines, same max-VP rule).
+  const ServiceModel model = test_model();
+  EpronsFeatures features;
+  features.average_vp = false;
+  EpronsServerPolicy ablated(&model, {}, features);
+  RubikPlusPolicy rubik_plus(&model);
+  Rng rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<QueuedRequest> queue;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) {
+      const SimTime deadline = rng.uniform(ms(15.0), ms(45.0));
+      queue.push_back(make_request(i, 0.0, deadline - ms(2.0), deadline));
+    }
+    const std::span<const QueuedRequest> view(queue.data(), queue.size());
+    EXPECT_DOUBLE_EQ(ablated.select_frequency(0.0, view, 0.0),
+                     rubik_plus.select_frequency(0.0, view, 0.0))
+        << "trial " << trial;
+  }
+}
+
+TEST(Policies, EpronsNoSlackUsesServerDeadline) {
+  const ServiceModel model = test_model();
+  EpronsFeatures features;
+  features.use_network_slack = false;
+  EpronsServerPolicy no_slack(&model, {}, features);
+  EpronsServerPolicy with_slack(&model);
+  // Tight server deadline, generous slack: the no-slack variant must run
+  // at least as fast.
+  const QueuedRequest r = make_request(1, 0.0, ms(14.0), ms(25.0));
+  const std::span<const QueuedRequest> view(&r, 1);
+  EXPECT_GE(no_slack.select_frequency(0.0, view, 0.0),
+            with_slack.select_frequency(0.0, view, 0.0));
+}
+
+TEST(Policies, TimeTraderEcnCongestionRaisesFrequency) {
+  // Under ECN congestion TimeTrader's effective target shrinks by the
+  // network budget, so the same observed latencies stop justifying a
+  // step-down (the paper's "overly conservative" behavior).
+  const ServiceModel model = test_model();
+  TimeTraderPolicy relaxed(&model);
+  TimeTraderPolicy congested(&model);
+  congested.on_network_congestion(true);
+  EXPECT_TRUE(congested.network_congested());
+  SimTime now = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    now += sec(0.5);
+    // Latency sits between the congested target (25 ms) and the relaxed
+    // 0.9*30 = 27 ms threshold: relaxed steps down, congested does not.
+    relaxed.on_request_complete(now, ms(26.0), ms(30.0));
+    congested.on_request_complete(now, ms(26.0), ms(30.0));
+  }
+  EXPECT_LT(relaxed.current_frequency(), congested.current_frequency());
+  EXPECT_DOUBLE_EQ(congested.current_frequency(), 2.7);
+}
+
+TEST(LowestFeasibleFrequency, BinarySearchMatchesLinearScan) {
+  const ServiceModel model = test_model();
+  const auto& grid = model.frequency_grid();
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random monotone predicate: feasible above a random threshold.
+    const double threshold = rng.uniform(1.0, 3.0);
+    auto feasible = [&](Freq f) { return f >= threshold; };
+    const Freq got = lowest_feasible_frequency(grid, feasible);
+    Freq expect = grid.back();
+    for (Freq f : grid) {
+      if (feasible(f)) {
+        expect = f;
+        break;
+      }
+    }
+    EXPECT_DOUBLE_EQ(got, expect) << "threshold " << threshold;
+  }
+}
+
+// Parameterized sweep: with a single queued request, Rubik and
+// EPRONS-Server agree exactly (average == max for n = 1).
+class SingleRequestAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(SingleRequestAgreement, EpronsEqualsRubikPlus) {
+  const ServiceModel model = test_model();
+  RubikPlusPolicy rubik_plus(&model);
+  EpronsServerPolicy eprons(&model);
+  const SimTime deadline = ms(GetParam());
+  const QueuedRequest r = make_request(1, 0.0, deadline, deadline);
+  const std::span<const QueuedRequest> view(&r, 1);
+  EXPECT_DOUBLE_EQ(rubik_plus.select_frequency(0.0, view, 0.0),
+                   eprons.select_frequency(0.0, view, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, SingleRequestAgreement,
+                         ::testing::Values(12.0, 16.0, 20.0, 25.0, 30.0,
+                                           40.0));
+
+TEST(SyntheticWorkload, ServiceTimesInRange) {
+  Rng rng(3);
+  SyntheticWorkloadConfig config;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = sample_service_time_ms(config, rng);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, config.tail_span * config.mean_service_ms + 1e-9);
+  }
+}
+
+TEST(SyntheticWorkload, HeavyTailPresent) {
+  Rng rng(5);
+  SyntheticWorkloadConfig config;
+  const DiscreteDistribution work = make_search_work_distribution(config, rng);
+  // p99 service time well above the mean (heavy tail).
+  const double p99 = work.quantile(0.99);
+  EXPECT_GT(p99, 1.8 * work.mean());
+}
+
+}  // namespace
+}  // namespace eprons

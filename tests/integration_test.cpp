@@ -1,0 +1,177 @@
+// Cross-module integration and property tests: the headline joint result,
+// MILP capacity invariants under K, and end-to-end determinism of the
+// whole stack including the epoch controller.
+#include <gtest/gtest.h>
+
+#include "consolidate/milp_consolidator.h"
+#include "core/epoch_controller.h"
+#include "dvfs/synthetic_workload.h"
+#include "sim/search_cluster.h"
+#include "topo/aggregation.h"
+#include "topo/leaf_spine.h"
+
+namespace eprons {
+namespace {
+
+ServiceModel shared_model() {
+  Rng rng(41);
+  SyntheticWorkloadConfig config;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+TEST(Integration, HeadlineJointSavingsAtLowLoad) {
+  // The paper's headline: at low load, joint optimization saves a large
+  // fraction of total power vs no power management while keeping the SLA.
+  const FatTree topo(4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  FlowGenConfig gen;
+  gen.exclude_host = 0;
+  Rng rng(3);
+  const FlowSet background = make_background_flows(gen, 6, 0.1, 0.1, rng);
+
+  const AggregationPolicies policies(&topo);
+  const auto full = policies.policy(0).switch_on;
+
+  ScenarioConfig base;
+  base.cluster.policy = "max";
+  base.cluster.target_utilization = 0.1;
+  base.cluster.duration = sec(4.0);
+  base.cluster.warmup = sec(0.5);
+  const auto no_pm = run_search_scenario(topo, model, power, background,
+                                         base, &full);
+
+  const JointOptimizer optimizer(&topo, &model, &power);
+  const JointPlan plan = optimizer.optimize(background, 0.1);
+  ASSERT_TRUE(plan.feasible);
+  ScenarioConfig joint = base;
+  joint.cluster.policy = "eprons";
+  const auto eprons = run_search_scenario(topo, model, power, background,
+                                          joint, &plan.placement.switch_on);
+
+  const double saving = 1.0 - eprons.metrics.total_system_power /
+                                  no_pm.metrics.total_system_power;
+  // The paper reports up to 31.25% at low load; anything >15% here keeps
+  // the claim's spirit (absolute figure depends on the static-power share).
+  EXPECT_GT(saving, 0.15);
+  EXPECT_LT(eprons.metrics.subquery_miss_rate, 0.08);
+}
+
+class MilpCapacityInvariant : public ::testing::TestWithParam<double> {};
+
+TEST_P(MilpCapacityInvariant, FabricArcsRespectScaledReservations) {
+  // For every K: the exact MILP's placement keeps scaled reservations on
+  // fabric (switch-switch) arcs within capacity - margin.
+  const double k = GetParam();
+  const FatTree ft(4);
+  FlowSet flows;
+  flows.add(0, 12, 700.0, FlowClass::LatencyTolerant);
+  flows.add(1, 13, 40.0, FlowClass::LatencySensitive);
+  flows.add(2, 14, 40.0, FlowClass::LatencySensitive);
+  flows.add(5, 9, 300.0, FlowClass::LatencyTolerant);
+  ConsolidationConfig config;
+  config.scale_factor_k = k;
+  const auto result = MilpConsolidator(&ft).consolidate(flows, config);
+  ASSERT_TRUE(result.feasible) << "K=" << k;
+
+  LinkUtilization reserved(&ft.graph());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    reserved.add_path_load(result.flow_paths[i], flows[i].scaled_demand(k));
+  }
+  const Graph& g = ft.graph();
+  for (const Link& l : g.links()) {
+    if (!g.is_switch(l.a) || !g.is_switch(l.b)) continue;  // fabric only
+    for (auto [from, to] : {std::pair{l.a, l.b}, std::pair{l.b, l.a}}) {
+      EXPECT_LE(reserved.directed_load(from, to),
+                l.capacity - config.safety_margin + 1e-6)
+          << "K=" << k << " arc " << g.node(from).name << "->"
+          << g.node(to).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleFactors, MilpCapacityInvariant,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+TEST(Integration, LeafSpineClusterSimulationRuns) {
+  // The whole DES stack on a non-fat-tree topology.
+  const LeafSpine topo(4, 4, 4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  FlowGenConfig gen;
+  gen.num_hosts = topo.num_hosts();
+  gen.hosts_per_edge = topo.hosts_per_access_switch();
+  gen.exclude_host = 0;
+  Rng rng(7);
+  const FlowSet background = make_background_flows(gen, 3, 0.2, 0.1, rng);
+
+  ScenarioConfig scenario;
+  scenario.cluster.policy = "eprons";
+  scenario.cluster.target_utilization = 0.2;
+  scenario.cluster.duration = sec(3.0);
+  scenario.cluster.warmup = sec(0.5);
+  const auto result =
+      run_search_scenario(topo, model, power, background, scenario);
+  EXPECT_GT(result.metrics.queries_completed, 50u);
+  EXPECT_GT(result.metrics.avg_cpu_power_per_server, 0.0);
+  EXPECT_LT(result.metrics.subquery_miss_rate, 0.15);
+}
+
+TEST(Integration, EpochControllerDeterministic) {
+  const FatTree topo(4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  auto run_once = [&]() {
+    EpochControllerConfig config;
+    config.joint.slack.samples_per_pair = 60;
+    config.samples_per_epoch = 40;
+    EpochController controller(&topo, &model, &power, config);
+    FlowGenConfig gen;
+    gen.exclude_host = 0;
+    Rng flows_rng(5);
+    const FlowSet background =
+        make_background_flows(gen, 6, 0.25, 0.1, flows_rng);
+    Rng rng(17);
+    std::vector<double> ks;
+    for (int e = 0; e < 3; ++e) {
+      ks.push_back(controller.run_epoch(background, 0.3, rng).chosen_k);
+    }
+    return ks;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, PolicyOrderingHoldsAtHighLoad) {
+  // The Fig. 12 ordering as an executable regression: at 50% utilization
+  // on the full topology, eprons <= rubik+ + noise <= rubik + noise < max.
+  const FatTree topo(4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  FlowGenConfig gen;
+  gen.exclude_host = 0;
+  Rng rng(23);
+  const FlowSet background = make_background_flows(gen, 6, 0.2, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto full = policies.policy(0).switch_on;
+
+  auto cpu = [&](const char* policy) {
+    ScenarioConfig scenario;
+    scenario.cluster.policy = policy;
+    scenario.cluster.target_utilization = 0.5;
+    scenario.cluster.duration = sec(5.0);
+    scenario.cluster.warmup = sec(0.5);
+    return run_search_scenario(topo, model, power, background, scenario,
+                               &full)
+        .metrics.avg_cpu_power_per_server;
+  };
+  const double p_max = cpu("max");
+  const double p_rubik = cpu("rubik");
+  const double p_eprons = cpu("eprons");
+  EXPECT_LT(p_rubik, p_max * 0.85);
+  EXPECT_LE(p_eprons, p_rubik * 1.02);  // at worst within noise of rubik
+}
+
+}  // namespace
+}  // namespace eprons

@@ -1,0 +1,107 @@
+// Tests for the leaf-spine topology and topology-independence of the
+// consolidation stack (paper section IV-B).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "consolidate/greedy_consolidator.h"
+#include "consolidate/milp_consolidator.h"
+#include "topo/leaf_spine.h"
+
+namespace eprons {
+namespace {
+
+TEST(LeafSpine, Dimensions) {
+  const LeafSpine ls(4, 4, 4);
+  EXPECT_EQ(ls.num_hosts(), 16);
+  EXPECT_EQ(ls.num_switches(), 8);
+  EXPECT_EQ(ls.graph().num_nodes(), 24u);
+  // Links: 16 host-leaf + 4x4 leaf-spine.
+  EXPECT_EQ(ls.graph().num_links(), 32u);
+  EXPECT_EQ(ls.hosts_per_access_switch(), 4);
+}
+
+TEST(LeafSpine, RejectsBadShape) {
+  EXPECT_THROW(LeafSpine(1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(LeafSpine(2, 0, 2), std::invalid_argument);
+}
+
+TEST(LeafSpine, PathCounts) {
+  const LeafSpine ls(4, 3, 2);
+  // Same leaf: one 2-hop path.
+  EXPECT_EQ(ls.all_paths(0, 1).size(), 1u);
+  // Different leaves: one path per spine.
+  EXPECT_EQ(ls.all_paths(0, 7).size(), 3u);
+}
+
+TEST(LeafSpine, PathsValidAndLoopFree) {
+  const LeafSpine ls(4, 4, 4);
+  for (int dst = 1; dst < 16; dst += 3) {
+    for (const Path& p : ls.all_paths(0, dst)) {
+      EXPECT_EQ(p.front(), ls.host(0));
+      EXPECT_EQ(p.back(), ls.host(dst));
+      EXPECT_NO_THROW(ls.graph().path_links(p));
+      const std::set<NodeId> unique(p.begin(), p.end());
+      EXPECT_EQ(unique.size(), p.size());
+    }
+  }
+}
+
+TEST(LeafSpine, ActivePathsFilter) {
+  const LeafSpine ls(2, 4, 2);
+  std::vector<bool> mask(ls.graph().num_nodes(), true);
+  mask[static_cast<std::size_t>(ls.spine(0))] = false;
+  mask[static_cast<std::size_t>(ls.spine(1))] = false;
+  EXPECT_EQ(ls.active_paths(0, 2, mask).size(), 2u);
+}
+
+TEST(LeafSpine, GreedyConsolidationRunsUnchanged) {
+  const LeafSpine ls(4, 4, 4);
+  FlowSet flows;
+  flows.add(0, 12, 400.0, FlowClass::LatencyTolerant);
+  flows.add(1, 13, 20.0, FlowClass::LatencySensitive);
+  flows.add(5, 9, 300.0, FlowClass::LatencyTolerant);
+  const GreedyConsolidator greedy(&ls);
+  ConsolidationConfig config;
+  const auto result = greedy.consolidate(flows, config);
+  ASSERT_TRUE(result.feasible);
+  // Minimal subnet: 4 leaves involved (0,1 share leaf0; 12,13 leaf3; 5
+  // leaf1; 9 leaf2) + 1 spine.
+  EXPECT_EQ(result.active_switches, 5);
+}
+
+TEST(LeafSpine, MilpMatchesGreedyOnSmallInstance) {
+  const LeafSpine ls(4, 2, 2);  // 8 hosts
+  FlowSet flows;
+  flows.add(0, 7, 500.0, FlowClass::LatencyTolerant);
+  flows.add(2, 5, 100.0, FlowClass::LatencySensitive);
+  ConsolidationConfig config;
+  config.scale_factor_k = 2.0;
+  const auto exact = MilpConsolidator(&ls).consolidate(flows, config);
+  const auto heur = GreedyConsolidator(&ls).consolidate(flows, config);
+  ASSERT_TRUE(exact.feasible);
+  ASSERT_TRUE(heur.feasible);
+  EXPECT_LE(exact.active_switches, heur.active_switches);
+}
+
+TEST(LeafSpine, LargerKSpreadsOverSpines) {
+  const LeafSpine ls(4, 4, 4);
+  FlowSet flows;
+  flows.add(0, 15, 800.0, FlowClass::LatencyTolerant);
+  flows.add(1, 14, 100.0, FlowClass::LatencySensitive);
+  const GreedyConsolidator greedy(&ls);
+  ConsolidationConfig low, high;
+  low.scale_factor_k = 1.0;
+  high.scale_factor_k = 3.0;
+  const auto at_low = greedy.consolidate(flows, low);
+  const auto at_high = greedy.consolidate(flows, high);
+  ASSERT_TRUE(at_low.feasible);
+  ASSERT_TRUE(at_high.feasible);
+  // At K=1 both flows fit one spine; at K=3 the sensitive flow (300
+  // reserved vs 150 headroom next to the elephant) needs a second spine.
+  EXPECT_EQ(at_low.active_switches, 3);
+  EXPECT_GT(at_high.active_switches, 3);
+}
+
+}  // namespace
+}  // namespace eprons

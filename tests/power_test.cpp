@@ -1,0 +1,125 @@
+// Unit tests for src/power: DVFS curve calibration, server power, switch
+// power, and the core energy meter.
+#include <gtest/gtest.h>
+
+#include "power/freq_power_curve.h"
+#include "power/server_power.h"
+#include "power/switch_power.h"
+
+namespace eprons {
+namespace {
+
+TEST(FreqPowerCurve, MatchesPaperCalibrationPoints) {
+  const auto curve = FreqPowerCurve::xeon_e5_2697v2();
+  EXPECT_NEAR(curve.active_power(1.2), 1.4, 1e-9);
+  EXPECT_NEAR(curve.active_power(2.7), 4.4, 1e-9);
+}
+
+TEST(FreqPowerCurve, MonotoneIncreasing) {
+  const auto curve = FreqPowerCurve::xeon_e5_2697v2();
+  double prev = 0.0;
+  for (Freq f : curve.frequency_grid()) {
+    const Power p = curve.active_power(f);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(FreqPowerCurve, GridHas16PointsAt100MHz) {
+  const auto grid = FreqPowerCurve::xeon_e5_2697v2().frequency_grid(0.1);
+  EXPECT_EQ(grid.size(), 16u);  // 1.2, 1.3, ..., 2.7
+  EXPECT_DOUBLE_EQ(grid.front(), 1.2);
+  EXPECT_DOUBLE_EQ(grid.back(), 2.7);
+}
+
+TEST(FreqPowerCurve, ClampsOutOfRangeQueries) {
+  const auto curve = FreqPowerCurve::xeon_e5_2697v2();
+  EXPECT_DOUBLE_EQ(curve.active_power(0.5), curve.active_power(1.2));
+  EXPECT_DOUBLE_EQ(curve.active_power(9.9), curve.active_power(2.7));
+}
+
+TEST(FreqPowerCurve, RejectsBadCalibration) {
+  EXPECT_THROW(FreqPowerCurve(2.0, 1.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(FreqPowerCurve(1.0, 3.0, 2.0, 2.0), std::invalid_argument);
+}
+
+TEST(ServerPower, PeakAndIdle) {
+  const ServerPowerModel model;  // paper defaults: 12 cores, 20 W static
+  // Peak: 20 + 12 * 4.4 = 72.8 W.
+  EXPECT_NEAR(model.peak_power(), 72.8, 1e-9);
+  // Idle: 20 + 12 * 0.5 = 26 W.
+  EXPECT_NEAR(model.idle_power(), 26.0, 1e-9);
+}
+
+TEST(ServerPower, ActiveCoreCountScalesPower) {
+  const ServerPowerModel model;
+  const Power p6 = model.server_power(6, 2.0);
+  const Power p12 = model.server_power(12, 2.0);
+  EXPECT_GT(p12, p6);
+  // Difference is exactly 6 * (active - idle) core power.
+  const Power delta = model.core_power(true, 2.0) - model.core_power(false, 0);
+  EXPECT_NEAR(p12 - p6, 6 * delta, 1e-9);
+}
+
+TEST(ServerPower, ClampsCoreCounts) {
+  const ServerPowerModel model;
+  EXPECT_DOUBLE_EQ(model.server_power(-3, 2.0), model.server_power(0, 2.0));
+  EXPECT_DOUBLE_EQ(model.server_power(99, 2.0), model.server_power(12, 2.0));
+}
+
+TEST(CoreEnergyMeter, IntegratesAcrossFrequencyChanges) {
+  const ServerPowerModel model;
+  CoreEnergyMeter meter(&model);
+  meter.set_state(0.0, /*active=*/true, 2.7);
+  meter.set_state(100.0, /*active=*/true, 1.2);   // 100us at 4.4 W
+  meter.set_state(300.0, /*active=*/false, 0.0);  // 200us at 1.4 W
+  meter.advance(400.0);                           // 100us idle at 0.5 W
+  const Energy expect = 100.0 * 4.4 + 200.0 * 1.4 + 100.0 * 0.5;
+  EXPECT_NEAR(meter.energy(), expect, 1e-6);
+  EXPECT_NEAR(meter.busy_time(), 300.0, 1e-9);
+  EXPECT_NEAR(meter.average_power(), expect / 400.0, 1e-9);
+}
+
+TEST(CoreEnergyMeter, IgnoresTimeBeforeFirstState) {
+  const ServerPowerModel model;
+  CoreEnergyMeter meter(&model);
+  meter.set_state(500.0, true, 2.0);
+  meter.advance(600.0);
+  EXPECT_NEAR(meter.total_time(), 100.0, 1e-9);
+}
+
+TEST(CoreEnergyMeter, NonMonotoneAdvanceIsNoOp) {
+  const ServerPowerModel model;
+  CoreEnergyMeter meter(&model);
+  meter.set_state(0.0, true, 2.0);
+  meter.advance(100.0);
+  const Energy e = meter.energy();
+  meter.advance(50.0);  // going backwards must not change anything
+  EXPECT_DOUBLE_EQ(meter.energy(), e);
+}
+
+TEST(SwitchPower, Fig8HpeCalibration) {
+  const auto model = SwitchPowerModel::hpe_e3800();
+  EXPECT_NEAR(model.switch_power(true, 0.0, 4), 97.5, 1e-9);
+  // Utilization 0 -> 100% adds only 0.59 W (the paper's key observation).
+  EXPECT_NEAR(model.switch_power(true, 1.0, 4) -
+                  model.switch_power(true, 0.0, 4),
+              0.59, 1e-9);
+}
+
+TEST(SwitchPower, Reference4PortModel) {
+  const auto model = SwitchPowerModel::reference_4port();
+  EXPECT_DOUBLE_EQ(model.switch_power(true, 0.5, 4), 36.0);
+  EXPECT_DOUBLE_EQ(model.switch_power(false, 0.5, 4), 0.0);
+}
+
+TEST(SwitchPower, UtilizationClamped) {
+  const auto model = SwitchPowerModel::hpe_e3800();
+  EXPECT_DOUBLE_EQ(model.switch_power(true, 2.0, 4),
+                   model.switch_power(true, 1.0, 4));
+  EXPECT_DOUBLE_EQ(model.switch_power(true, -1.0, 4),
+                   model.switch_power(true, 0.0, 4));
+}
+
+}  // namespace
+}  // namespace eprons

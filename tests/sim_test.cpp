@@ -1,0 +1,357 @@
+// Tests for src/sim: event queue ordering, DVFS-aware server mechanics,
+// and end-to-end cluster integration properties.
+#include <gtest/gtest.h>
+
+#include "dvfs/synthetic_workload.h"
+#include "sim/event_queue.h"
+#include "sim/search_cluster.h"
+#include "sim/server.h"
+#include "topo/aggregation.h"
+
+namespace eprons {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  events.schedule(30.0, [&] { order.push_back(3); });
+  events.schedule(10.0, [&] { order.push_back(1); });
+  events.schedule(20.0, [&] { order.push_back(2); });
+  events.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(events.now(), 30.0);
+}
+
+TEST(EventQueue, EqualTimesFifoBySchedulingOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    events.schedule(7.0, [&order, i] { order.push_back(i); });
+  }
+  events.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue events;
+  events.schedule(10.0, [] {});
+  events.step();
+  bool fired = false;
+  events.schedule(5.0, [&] { fired = true; });  // in the past
+  events.step();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(events.now(), 10.0);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule(10.0, [&] { ++fired; });
+  events.schedule(50.0, [&] { ++fired; });
+  events.run_until(20.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(events.now(), 20.0);
+  EXPECT_EQ(events.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue events;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) events.schedule_in(10.0, chain);
+  };
+  events.schedule(0.0, chain);
+  events.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(events.now(), 40.0);
+}
+
+ServiceModel sim_model(std::uint64_t seed = 21) {
+  Rng rng(seed);
+  SyntheticWorkloadConfig config;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+ServerRequest request_with(Work work, SimTime deadline) {
+  ServerRequest r;
+  r.work = work;
+  r.meta.deadline_server = deadline;
+  r.meta.deadline_with_slack = deadline;
+  return r;
+}
+
+TEST(SimServer, ServesAtMaxFrequencyExactly) {
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  std::vector<ServerCompletion> completions;
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) { return std::make_unique<MaxFreqPolicy>(m); },
+      [&](const ServerCompletion& c) { completions.push_back(c); });
+
+  const Work w = 2.7e6;  // exactly 1 ms at 2.7 GHz (with mu folded in)
+  server.submit(request_with(w, ms(100.0)));
+  events.run_all();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_NEAR(completions[0].completed_at, model.service_time(w, 2.7), 1e-6);
+}
+
+TEST(SimServer, LeastLoadedDispatchSpreadsRequests) {
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;  // 12 cores
+  int done = 0;
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) { return std::make_unique<MaxFreqPolicy>(m); },
+      [&](const ServerCompletion&) { ++done; });
+  // 12 simultaneous requests must land one per core.
+  for (int i = 0; i < 12; ++i) server.submit(request_with(1e6, ms(100.0)));
+  for (int c = 0; c < 12; ++c) EXPECT_EQ(server.queue_length(c), 1u);
+  events.run_all();
+  EXPECT_EQ(done, 12);
+}
+
+TEST(SimServer, QueuedRequestsServeInOrder) {
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  ServerPowerConfig pc;
+  pc.num_cores = 1;  // force queueing
+  const ServerPowerModel power(pc);
+  std::vector<RequestId> completed;
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) { return std::make_unique<MaxFreqPolicy>(m); },
+      [&](const ServerCompletion& c) { completed.push_back(c.request.meta.id); });
+  for (int i = 0; i < 3; ++i) {
+    ServerRequest r = request_with(1e6, ms(100.0));
+    r.meta.id = i;
+    server.submit(r);
+  }
+  events.run_all();
+  EXPECT_EQ(completed, (std::vector<RequestId>{0, 1, 2}));
+}
+
+TEST(SimServer, EdfPolicyReordersWaitingRequests) {
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  ServerPowerConfig pc;
+  pc.num_cores = 1;
+  const ServerPowerModel power(pc);
+  std::vector<RequestId> completed;
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) {
+        return std::make_unique<EpronsServerPolicy>(m);
+      },
+      [&](const ServerCompletion& c) { completed.push_back(c.request.meta.id); });
+  // Head (id 0) is in service; ids 1..3 wait with inverted deadlines.
+  for (int i = 0; i < 4; ++i) {
+    ServerRequest r = request_with(4e6, ms(100.0 - 20.0 * i));
+    r.meta.id = i;
+    r.meta.deadline_with_slack = ms(100.0 - 20.0 * i);
+    server.submit(r);
+  }
+  events.run_all();
+  ASSERT_EQ(completed.size(), 4u);
+  EXPECT_EQ(completed[0], 0);  // in-service head cannot be preempted
+  // Waiting requests drain earliest-deadline-first: 3 (40ms), 2 (60), 1 (80).
+  EXPECT_EQ(completed[1], 3);
+  EXPECT_EQ(completed[2], 2);
+  EXPECT_EQ(completed[3], 1);
+}
+
+TEST(SimServer, EnergyAccountingMatchesBusyTime) {
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  ServerPowerConfig pc;
+  pc.num_cores = 1;
+  const ServerPowerModel power(pc);
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) { return std::make_unique<MaxFreqPolicy>(m); },
+      nullptr);
+  const Work w = 5.4e6;
+  server.submit(request_with(w, ms(100.0)));
+  events.run_all();
+  const SimTime busy = model.service_time(w, 2.7);
+  server.sync_energy(events.now());
+  EXPECT_NEAR(server.total_cpu_energy(),
+              busy * power.core_power(true, 2.7), 1.0);
+  EXPECT_NEAR(server.average_core_utilization(), 1.0, 1e-6);
+}
+
+TEST(SimServer, ArrivalMidServiceReschedulesConsistently) {
+  // A second arrival mid-service must not lose or duplicate completions,
+  // even though the frequency changes at the arrival instant.
+  EventQueue events;
+  const ServiceModel model = sim_model();
+  ServerPowerConfig pc;
+  pc.num_cores = 1;
+  const ServerPowerModel power(pc);
+  int done = 0;
+  SimServer server(
+      &events, &model, &power,
+      [](const ServiceModel* m) {
+        return std::make_unique<RubikPolicy>(m);
+      },
+      [&](const ServerCompletion&) { ++done; });
+  ServerRequest first = request_with(10e6, ms(25.0));
+  first.meta.deadline_with_slack = ms(25.0);
+  server.submit(first);
+  events.schedule(ms(1.0), [&] {
+    ServerRequest second = request_with(10e6, ms(26.0));
+    second.meta.arrival = events.now();
+    second.meta.deadline_server = events.now() + ms(25.0);
+    second.meta.deadline_with_slack = second.meta.deadline_server;
+    server.submit(second);
+  });
+  events.run_all();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(server.total_queued(), 0u);
+}
+
+// ---- Cluster integration ----
+
+ScenarioConfig fast_scenario(const std::string& policy, double util) {
+  ScenarioConfig config;
+  config.cluster.policy = policy;
+  config.cluster.target_utilization = util;
+  config.cluster.warmup = sec(0.5);
+  config.cluster.duration = sec(3.0);
+  config.cluster.feedback_warmup = sec(60.0);
+  config.cluster.seed = 42;
+  return config;
+}
+
+TEST(SearchCluster, UtilizationTracksTarget) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.1, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto subnet = policies.policy(0).switch_on;
+  const auto result = run_search_scenario(topo, model, power, background,
+                                          fast_scenario("max", 0.3), &subnet);
+  EXPECT_NEAR(result.metrics.measured_core_utilization, 0.3, 0.05);
+  EXPECT_GT(result.metrics.queries_completed, 100u);
+}
+
+TEST(SearchCluster, StatisticalPolicySavesPowerVsMax) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.1, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto subnet = policies.policy(0).switch_on;
+  const auto max_run = run_search_scenario(topo, model, power, background,
+                                           fast_scenario("max", 0.3), &subnet);
+  const auto eprons_run = run_search_scenario(
+      topo, model, power, background, fast_scenario("eprons", 0.3), &subnet);
+  EXPECT_LT(eprons_run.metrics.avg_cpu_power_per_server,
+            max_run.metrics.avg_cpu_power_per_server * 0.85);
+  // And the SLA holds at roughly the target miss budget.
+  EXPECT_LT(eprons_run.metrics.subquery_miss_rate, 0.08);
+}
+
+TEST(SearchCluster, SubqueryTailRespectsConstraintShape) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.1, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto subnet = policies.policy(0).switch_on;
+  const auto run = run_search_scenario(topo, model, power, background,
+                                       fast_scenario("eprons", 0.3), &subnet);
+  // EPRONS pushes completions toward the deadline but not far past it.
+  EXPECT_LT(run.metrics.subquery_latency.p95, ms(32.0));
+  EXPECT_GT(run.metrics.subquery_latency.p95, ms(10.0));
+}
+
+TEST(SearchCluster, DeterministicForFixedSeed) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.1, 0.1, rng);
+  const auto a = run_search_scenario(topo, model, power, background,
+                                     fast_scenario("rubik", 0.2));
+  const auto b = run_search_scenario(topo, model, power, background,
+                                     fast_scenario("rubik", 0.2));
+  EXPECT_DOUBLE_EQ(a.metrics.avg_cpu_power_per_server,
+                   b.metrics.avg_cpu_power_per_server);
+  EXPECT_EQ(a.metrics.queries_completed, b.metrics.queries_completed);
+  EXPECT_DOUBLE_EQ(a.metrics.subquery_latency.p95,
+                   b.metrics.subquery_latency.p95);
+}
+
+TEST(SearchCluster, PinnedSubnetReportsItsFullPower) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.05, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto agg2 = policies.policy(2).switch_on;
+  const auto run = run_search_scenario(topo, model, power, background,
+                                       fast_scenario("max", 0.1), &agg2);
+  // 14 switches at 36 W each, regardless of how few the routing used.
+  EXPECT_DOUBLE_EQ(run.metrics.network_power, 14 * 36.0);
+}
+
+TEST(SearchCluster, FreeConsolidationPaysOnlyActiveSwitches) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.05, 0.1, rng);
+  const auto run = run_search_scenario(topo, model, power, background,
+                                       fast_scenario("max", 0.1));
+  EXPECT_DOUBLE_EQ(run.metrics.network_power,
+                   run.placement.active_switches * 36.0);
+  EXPECT_LT(run.placement.active_switches, 20);
+}
+
+TEST(SearchCluster, HigherAggregationRaisesNetworkTail) {
+  const FatTree topo(4);
+  const ServiceModel model = sim_model();
+  const ServerPowerModel power;
+  Rng rng(9);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 12, 0.3, 0.1, rng);
+  const AggregationPolicies policies(&topo);
+  const auto agg0 = policies.policy(0).switch_on;
+  const auto agg3 = policies.policy(3).switch_on;
+  const auto run0 = run_search_scenario(topo, model, power, background,
+                                        fast_scenario("max", 0.3), &agg0);
+  const auto run3 = run_search_scenario(topo, model, power, background,
+                                        fast_scenario("max", 0.3), &agg3);
+  EXPECT_GT(run3.metrics.network_latency.p95,
+            run0.metrics.network_latency.p95);
+}
+
+TEST(Metrics, SummarizeEmptyAndFilled) {
+  PercentileEstimator estimator;
+  LatencyStats empty = summarize(estimator);
+  EXPECT_EQ(empty.count, 0u);
+  for (int i = 1; i <= 100; ++i) estimator.add(i);
+  const LatencyStats stats = summarize(estimator);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.p95, 95.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+}
+
+}  // namespace
+}  // namespace eprons

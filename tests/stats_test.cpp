@@ -1,0 +1,291 @@
+// Unit + property tests for src/stats: FFT, convolution, discretized
+// distributions (the violation-probability substrate), percentiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/distribution.h"
+#include "stats/fft.h"
+#include "stats/percentile.h"
+#include "util/rng.h"
+
+namespace eprons {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> orig(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    orig[i] = data[i];
+  }
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, KnownTransformOfImpulse) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Convolve, MatchesDirectSmall) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5};
+  const auto out = convolve(a, b);
+  const std::vector<double> expect{4, 13, 22, 15};
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], expect[i], 1e-9);
+  }
+}
+
+TEST(Convolve, FftPathMatchesDirectLarge) {
+  Rng rng(2);
+  std::vector<double> a(300), b(200);
+  for (double& x : a) x = rng.uniform();
+  for (double& x : b) x = rng.uniform();
+  const auto fast = convolve(a, b);  // large enough to take the FFT path
+  const auto slow = convolve_direct(a, b);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-7);
+  }
+}
+
+TEST(Convolve, EmptyInputGivesEmpty) {
+  EXPECT_TRUE(convolve({}, {1.0}).empty());
+  EXPECT_TRUE(convolve({1.0}, {}).empty());
+}
+
+// ---- DiscreteDistribution ----
+
+DiscreteDistribution make_uniform(double offset, double step, std::size_t n) {
+  return DiscreteDistribution(offset, step,
+                              std::vector<double>(n, 1.0 / double(n)));
+}
+
+TEST(Distribution, NormalizesMass) {
+  DiscreteDistribution d(0.0, 1.0, {2.0, 2.0, 4.0});
+  EXPECT_NEAR(d.pmf()[0], 0.25, 1e-12);
+  EXPECT_NEAR(d.pmf()[2], 0.5, 1e-12);
+}
+
+TEST(Distribution, RejectsBadInput) {
+  EXPECT_THROW(DiscreteDistribution(0.0, 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution(0.0, 1.0, {0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Distribution, MeanAndVarianceOfPointMass) {
+  const auto d = DiscreteDistribution::point_mass(7.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, CdfCcdfComplement) {
+  const auto d = make_uniform(0.0, 1.0, 10);
+  for (double x = -1.0; x < 11.0; x += 0.37) {
+    EXPECT_NEAR(d.cdf(x) + d.ccdf(x), 1.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(9.5), 1.0);
+}
+
+TEST(Distribution, CdfMonotone) {
+  Rng rng(3);
+  std::vector<double> pmf(50);
+  for (double& p : pmf) p = rng.uniform();
+  DiscreteDistribution d(5.0, 0.25, std::move(pmf));
+  double prev = -1.0;
+  for (double x = 4.0; x < 20.0; x += 0.05) {
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(Distribution, QuantileInverseOfCdf) {
+  const auto d = make_uniform(0.0, 1.0, 100);
+  const double q95 = d.quantile(0.95);
+  EXPECT_NEAR(d.cdf(q95), 0.95, 0.02);
+}
+
+TEST(Distribution, ConvolutionMeansAdd) {
+  const auto a = make_uniform(10.0, 1.0, 20);
+  const auto b = make_uniform(5.0, 1.0, 8);
+  const auto c = a.convolve(b);
+  EXPECT_NEAR(c.mean(), a.mean() + b.mean(), 1e-9);
+  EXPECT_NEAR(c.variance(), a.variance() + b.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(c.min_value(), 15.0);
+}
+
+TEST(Distribution, ConvolutionMassSumsToOne) {
+  const auto a = make_uniform(0.0, 2.0, 33);
+  const auto c = a.convolve(a).convolve(a);
+  const double total =
+      std::accumulate(c.pmf().begin(), c.pmf().end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Distribution, ConvolveRejectsMismatchedSteps) {
+  const auto a = make_uniform(0.0, 1.0, 4);
+  const auto b = make_uniform(0.0, 2.0, 4);
+  EXPECT_THROW(a.convolve(b), std::invalid_argument);
+}
+
+TEST(Distribution, ConditionalRemainingShiftsSupport) {
+  const auto d = make_uniform(0.0, 1.0, 10);  // values 0..9
+  const auto r = d.conditional_remaining(4.0);
+  // Remaining values are {1..5} with equal mass (bins 5..9 shifted by 4).
+  EXPECT_NEAR(r.min_value(), 1.0, 1e-9);
+  EXPECT_NEAR(r.max_value(), 5.0, 1e-9);
+  EXPECT_NEAR(r.mean(), 3.0, 1e-9);
+}
+
+TEST(Distribution, ConditionalRemainingPastSupportIsZero) {
+  const auto d = make_uniform(0.0, 1.0, 10);
+  const auto r = d.conditional_remaining(100.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+}
+
+TEST(Distribution, ConditionalRemainingBeforeSupportIsShift) {
+  const auto d = make_uniform(10.0, 1.0, 5);
+  const auto r = d.conditional_remaining(2.0);
+  EXPECT_NEAR(r.mean(), d.mean() - 2.0, 1e-9);
+}
+
+TEST(Distribution, FromSamplesRecoversMoments) {
+  Rng rng(4);
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.lognormal(1.0, 0.4));
+  const auto d = DiscreteDistribution::from_samples(samples, 200);
+  const double expect_mean = std::exp(1.0 + 0.4 * 0.4 / 2.0);
+  EXPECT_NEAR(d.mean(), expect_mean, expect_mean * 0.02);
+}
+
+TEST(Distribution, TruncatedDropsNegligibleTails) {
+  std::vector<double> pmf(100, 0.0);
+  pmf[50] = 1.0;
+  pmf[0] = 1e-15;
+  pmf[99] = 1e-15;
+  DiscreteDistribution d(0.0, 1.0, std::move(pmf));
+  const auto t = d.truncated(1e-9);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.min_value(), 50.0);
+}
+
+TEST(Distribution, SampleStaysOnSupportAndMatchesMean) {
+  const auto d = make_uniform(10.0, 0.5, 40);  // values 10 .. 29.5
+  Rng rng(5);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double s = d.sample(rng);
+    EXPECT_GE(s, 10.0 - 0.25 - 1e-9);
+    EXPECT_LE(s, 29.5 + 0.25 + 1e-9);
+    total += s;
+  }
+  EXPECT_NEAR(total / n, d.mean(), 0.05);
+}
+
+// Property sweep: CCDF evaluated through equation (1) style lookups is
+// monotone non-increasing in frequency for any deadline.
+class DistributionVpProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistributionVpProperty, CcdfMonotoneInFrequency) {
+  Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.lognormal(14.0, 0.5));
+  const auto work = DiscreteDistribution::from_samples(samples, 256);
+  const double deadline_us = GetParam();
+  double prev = 2.0;
+  for (double f = 1.2; f <= 2.7 + 1e-9; f += 0.1) {
+    const double vp = work.ccdf(f * 1000.0 * deadline_us);
+    EXPECT_LE(vp, prev + 1e-12) << "f=" << f;
+    prev = vp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, DistributionVpProperty,
+                         ::testing::Values(500.0, 1000.0, 2000.0, 5000.0,
+                                           10000.0));
+
+// ---- Percentiles ----
+
+TEST(Percentile, NearestRankConvention) {
+  PercentileEstimator p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  PercentileEstimator p;
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentile, InterleavedAddAndQuery) {
+  PercentileEstimator p;
+  p.add(5.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+  p.add(1.0);
+  p.add(9.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(p.max(), 9.0);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+}
+
+TEST(WindowedPercentile, ForgetsOldSamples) {
+  WindowedPercentile w(10);
+  for (int i = 0; i < 10; ++i) w.add(1000.0);
+  for (int i = 0; i < 10; ++i) w.add(1.0);
+  EXPECT_DOUBLE_EQ(w.quantile(0.99), 1.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (int i = 1; i <= 5; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  Rng rng(7);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+}  // namespace
+}  // namespace eprons

@@ -1,0 +1,217 @@
+// Unit tests for src/topo: graph primitives, fat-tree construction, path
+// enumeration, and the Fig. 9 aggregation policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/aggregation.h"
+#include "topo/fattree.h"
+#include "topo/graph.h"
+
+namespace eprons {
+namespace {
+
+TEST(Graph, AddAndQuery) {
+  Graph g;
+  const NodeId a = g.add_node(NodeType::Host, 0, 0, "a");
+  const NodeId b = g.add_node(NodeType::EdgeSwitch, 0, 0, "b");
+  const LinkId l = g.add_link(a, b, 1000.0);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_EQ(g.other_end(l, a), b);
+  EXPECT_EQ(g.other_end(l, b), a);
+  EXPECT_EQ(g.find_link(a, b), l);
+  EXPECT_EQ(g.find_link(b, a), l);
+  EXPECT_FALSE(g.is_switch(a));
+  EXPECT_TRUE(g.is_switch(b));
+}
+
+TEST(Graph, RejectsBadLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeType::Host, 0, 0, "a");
+  const NodeId b = g.add_node(NodeType::Host, 0, 1, "b");
+  EXPECT_THROW(g.add_link(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, b, 0.0), std::invalid_argument);
+  g.add_link(a, b, 1.0);
+  EXPECT_THROW(g.add_link(b, a, 1.0), std::invalid_argument);  // duplicate
+}
+
+TEST(Graph, PathLinksValidatesAdjacency) {
+  Graph g;
+  const NodeId a = g.add_node(NodeType::Host, 0, 0, "a");
+  const NodeId b = g.add_node(NodeType::EdgeSwitch, 0, 0, "b");
+  const NodeId c = g.add_node(NodeType::Host, 0, 1, "c");
+  g.add_link(a, b, 1.0);
+  g.add_link(b, c, 1.0);
+  const auto links = g.path_links({a, b, c});
+  EXPECT_EQ(links.size(), 2u);
+  EXPECT_THROW(g.path_links({a, c}), std::invalid_argument);
+}
+
+TEST(FatTree, K4Dimensions) {
+  const FatTree ft(4);
+  EXPECT_EQ(ft.num_hosts(), 16);
+  EXPECT_EQ(ft.num_core(), 4);
+  EXPECT_EQ(ft.num_agg(), 8);
+  EXPECT_EQ(ft.num_edge(), 8);
+  EXPECT_EQ(ft.num_switches(), 20);
+  EXPECT_EQ(ft.graph().num_nodes(), 36u);  // 16 hosts + 20 switches
+  // Links: 16 host-edge + 16 edge-agg (4 per pod * 4 pods) + 16 agg-core.
+  EXPECT_EQ(ft.graph().num_links(), 48u);
+}
+
+TEST(FatTree, K8Dimensions) {
+  const FatTree ft(8);
+  EXPECT_EQ(ft.num_hosts(), 128);
+  EXPECT_EQ(ft.num_core(), 16);
+  EXPECT_EQ(ft.num_switches(), 16 + 32 + 32);
+}
+
+TEST(FatTree, RejectsOddK) {
+  EXPECT_THROW(FatTree(3), std::invalid_argument);
+  EXPECT_THROW(FatTree(0), std::invalid_argument);
+}
+
+TEST(FatTree, NodeDegrees) {
+  const FatTree ft(4);
+  const Graph& g = ft.graph();
+  for (const Node& n : g.nodes()) {
+    const auto degree = g.links_of(n.id).size();
+    switch (n.type) {
+      case NodeType::Host: EXPECT_EQ(degree, 1u); break;
+      case NodeType::EdgeSwitch: EXPECT_EQ(degree, 4u); break;  // 2 hosts+2 agg
+      case NodeType::AggSwitch: EXPECT_EQ(degree, 4u); break;   // 2 edge+2 core
+      case NodeType::CoreSwitch: EXPECT_EQ(degree, 4u); break;  // 1 agg per pod
+    }
+  }
+}
+
+TEST(FatTree, CoreWiringRowConvention) {
+  // core(row, col) must connect to agg `row` of every pod.
+  const FatTree ft(4);
+  const Graph& g = ft.graph();
+  for (int row = 0; row < 2; ++row) {
+    for (int col = 0; col < 2; ++col) {
+      for (int pod = 0; pod < 4; ++pod) {
+        EXPECT_NE(g.find_link(ft.core(row, col), ft.agg(pod, row)),
+                  kInvalidLink);
+        EXPECT_EQ(g.find_link(ft.core(row, col), ft.agg(pod, 1 - row)),
+                  kInvalidLink);
+      }
+    }
+  }
+}
+
+TEST(FatTree, PathCounts) {
+  const FatTree ft(4);
+  // Same edge switch (hosts 0 and 1): one 2-hop path.
+  EXPECT_EQ(ft.all_paths(0, 1).size(), 1u);
+  // Same pod, different edge (hosts 0 and 2): k/2 = 2 paths.
+  EXPECT_EQ(ft.all_paths(0, 2).size(), 2u);
+  // Different pods (hosts 0 and 15): (k/2)^2 = 4 paths.
+  EXPECT_EQ(ft.all_paths(0, 15).size(), 4u);
+}
+
+TEST(FatTree, PathsAreValidAndLoopFree) {
+  const FatTree ft(4);
+  const Graph& g = ft.graph();
+  for (int dst = 1; dst < 16; ++dst) {
+    for (const Path& p : ft.all_paths(0, dst)) {
+      EXPECT_EQ(p.front(), ft.host(0));
+      EXPECT_EQ(p.back(), ft.host(dst));
+      EXPECT_NO_THROW(g.path_links(p));  // adjacency holds hop by hop
+      const std::set<NodeId> unique(p.begin(), p.end());
+      EXPECT_EQ(unique.size(), p.size());  // loop-free
+    }
+  }
+}
+
+TEST(FatTree, RejectsSelfPath) {
+  const FatTree ft(4);
+  EXPECT_THROW(ft.all_paths(3, 3), std::invalid_argument);
+}
+
+TEST(FatTree, ActivePathsFilterBySwitchMask) {
+  const FatTree ft(4);
+  std::vector<bool> all_on(ft.graph().num_nodes(), true);
+  EXPECT_EQ(ft.active_paths(0, 15, all_on).size(), 4u);
+  // Turn off core row 1: only paths through row 0 cores remain.
+  std::vector<bool> mask = all_on;
+  mask[static_cast<std::size_t>(ft.core(1, 0))] = false;
+  mask[static_cast<std::size_t>(ft.core(1, 1))] = false;
+  EXPECT_EQ(ft.active_paths(0, 15, mask).size(), 2u);
+}
+
+TEST(Aggregation, ActiveSwitchCountsMatchDesign) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  EXPECT_EQ(policies.max_level(), 3);
+  const std::vector<int> expect = {20, 18, 14, 13};
+  for (int level = 0; level <= 3; ++level) {
+    EXPECT_EQ(policies.policy(level).active_switches, expect[static_cast<std::size_t>(level)])
+        << "level " << level;
+  }
+}
+
+TEST(Aggregation, MonotoneShrinking) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  // Every switch on at level L+1 is also on at level L.
+  for (int level = 0; level < policies.max_level(); ++level) {
+    const auto a = policies.policy(level).switch_on;
+    const auto b = policies.policy(level + 1).switch_on;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (b[i]) {
+        EXPECT_TRUE(a[i]) << "node " << i << " level " << level;
+      }
+    }
+  }
+}
+
+TEST(Aggregation, AllLevelsKeepHostsConnected) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  const auto hosts = ft.graph().hosts();
+  for (int level = 0; level <= policies.max_level(); ++level) {
+    const auto policy = policies.policy(level);
+    EXPECT_TRUE(ft.graph().connected(hosts[0], hosts, policy.switch_on))
+        << "level " << level;
+  }
+}
+
+TEST(Aggregation, EdgeSwitchesNeverTurnOff) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  for (int level = 0; level <= policies.max_level(); ++level) {
+    const auto policy = policies.policy(level);
+    for (int pod = 0; pod < 4; ++pod) {
+      for (int e = 0; e < 2; ++e) {
+        EXPECT_TRUE(policy.switch_on[static_cast<std::size_t>(ft.edge(pod, e))]);
+      }
+    }
+  }
+}
+
+TEST(Aggregation, OutOfRangeThrows) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  EXPECT_THROW(policies.policy(-1), std::out_of_range);
+  EXPECT_THROW(policies.policy(4), std::out_of_range);
+}
+
+TEST(Aggregation, LargerFatTreeHasMoreLevels) {
+  const FatTree ft(8);
+  const AggregationPolicies policies(&ft);
+  EXPECT_EQ(policies.max_level(), 7);
+  const auto hosts = ft.graph().hosts();
+  for (int level = 0; level <= policies.max_level(); ++level) {
+    const auto policy = policies.policy(level);
+    EXPECT_TRUE(ft.graph().connected(hosts[0], hosts, policy.switch_on))
+        << "level " << level;
+  }
+  // Minimal level for k=8: 1 core + 8 agg (1 per pod) + 32 edge = 41.
+  EXPECT_EQ(policies.policy(7).active_switches, 41);
+}
+
+}  // namespace
+}  // namespace eprons

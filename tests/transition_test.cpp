@@ -1,0 +1,150 @@
+// Tests for consolidation transition modeling (src/consolidate/transition)
+// and the epoch controller (src/core/epoch_controller).
+#include <gtest/gtest.h>
+
+#include "consolidate/transition.h"
+#include "core/epoch_controller.h"
+#include "dvfs/synthetic_workload.h"
+#include "topo/aggregation.h"
+#include "topo/fattree.h"
+
+namespace eprons {
+namespace {
+
+TEST(Transition, DiffCountsBootAndOff) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  const auto agg0 = policies.policy(0).switch_on;  // 20 on
+  const auto agg2 = policies.policy(2).switch_on;  // 14 on
+  TransitionConfig config;
+
+  const TransitionStats shrink =
+      plan_transition(ft.graph(), agg0, agg2, config);
+  EXPECT_EQ(shrink.switches_to_boot, 0);
+  EXPECT_EQ(shrink.switches_to_off, 6);
+  // Pure shutdowns have no boot window.
+  EXPECT_DOUBLE_EQ(shrink.unavailable_window, 0.0);
+  EXPECT_DOUBLE_EQ(shrink.overhead_energy, 0.0);
+
+  const TransitionStats grow = plan_transition(ft.graph(), agg2, agg0, config);
+  EXPECT_EQ(grow.switches_to_boot, 6);
+  EXPECT_EQ(grow.switches_to_off, 0);
+  EXPECT_DOUBLE_EQ(grow.unavailable_window, sec(72.52));
+  EXPECT_NEAR(grow.overhead_energy, sec(72.52) * 6 * 36.0, 1e-3);
+}
+
+TEST(Transition, NoChangeNoOverhead) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  const auto mask = policies.policy(1).switch_on;
+  const auto stats = plan_transition(ft.graph(), mask, mask, {});
+  EXPECT_EQ(stats.switches_to_boot, 0);
+  EXPECT_EQ(stats.switches_to_off, 0);
+  EXPECT_DOUBLE_EQ(stats.overhead_energy, 0.0);
+}
+
+TEST(TransitionController, LingerKeepsSwitchesOn) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  TransitionConfig config;
+  config.linger_epochs = 1;
+  TransitionController controller(&ft.graph(), config);
+
+  const auto agg0 = policies.policy(0).switch_on;
+  const auto agg3 = policies.policy(3).switch_on;
+  controller.step(agg0);
+  EXPECT_EQ(count_active_switches(ft.graph(), controller.current_mask()), 20);
+  // Shrink request: lingering keeps the extra switches one more epoch.
+  controller.step(agg3);
+  EXPECT_EQ(count_active_switches(ft.graph(), controller.current_mask()), 20);
+  controller.step(agg3);
+  EXPECT_EQ(count_active_switches(ft.graph(), controller.current_mask()), 13);
+  EXPECT_GT(controller.lingering_energy(), 0.0);
+}
+
+TEST(TransitionController, NoLingerShutsDownImmediately) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  TransitionConfig config;
+  config.linger_epochs = 0;
+  TransitionController controller(&ft.graph(), config);
+  controller.step(policies.policy(0).switch_on);
+  controller.step(policies.policy(3).switch_on);
+  EXPECT_EQ(count_active_switches(ft.graph(), controller.current_mask()), 13);
+}
+
+TEST(TransitionController, FirstEpochIsNotABoot) {
+  const FatTree ft(4);
+  const AggregationPolicies policies(&ft);
+  TransitionController controller(&ft.graph(), {});
+  controller.step(policies.policy(0).switch_on);
+  EXPECT_EQ(controller.total_boots(), 0);
+  // Growing later does count.
+  controller.step(policies.policy(3).switch_on);
+  controller.step(policies.policy(3).switch_on);
+  controller.step(policies.policy(0).switch_on);
+  EXPECT_GT(controller.total_boots(), 0);
+}
+
+TEST(EpochController, RunsFullLoopAndPredictsConservatively) {
+  const FatTree ft(4);
+  Rng wl_rng(5);
+  SyntheticWorkloadConfig wl;
+  wl.samples = 20000;
+  wl.bins = 256;
+  const ServiceModel model = make_search_service_model(wl, wl_rng);
+  const ServerPowerModel power;
+
+  EpochControllerConfig config;
+  config.joint.slack.samples_per_pair = 80;
+  config.samples_per_epoch = 50;
+  EpochController controller(&ft, &model, &power, config);
+
+  FlowGenConfig gen;
+  gen.exclude_host = 0;
+  Rng rng(9);
+  const FlowSet background = make_background_flows(gen, 6, 0.2, 0.0, rng);
+
+  const EpochReport first = controller.run_epoch(background, 0.3, rng);
+  EXPECT_EQ(first.epoch, 0);
+  EXPECT_TRUE(first.feasible);
+  // The 90th-percentile predictor over log-normal noise over-reserves.
+  EXPECT_GT(first.prediction_ratio, 1.0);
+  EXPECT_LT(first.prediction_ratio, 2.0);
+  EXPECT_GT(first.actual_switches, 0);
+  EXPECT_GT(first.network_power, 0.0);
+
+  // A second identical epoch should not need any boots.
+  const EpochReport second = controller.run_epoch(background, 0.3, rng);
+  EXPECT_EQ(second.epoch, 1);
+  EXPECT_EQ(second.transition.switches_to_boot, 0);
+}
+
+TEST(EpochController, LoadGrowthTriggersBoots) {
+  const FatTree ft(4);
+  Rng wl_rng(5);
+  SyntheticWorkloadConfig wl;
+  wl.samples = 20000;
+  wl.bins = 256;
+  const ServiceModel model = make_search_service_model(wl, wl_rng);
+  const ServerPowerModel power;
+
+  EpochControllerConfig config;
+  config.joint.slack.samples_per_pair = 80;
+  config.samples_per_epoch = 50;
+  EpochController controller(&ft, &model, &power, config);
+
+  FlowGenConfig gen;
+  gen.exclude_host = 0;
+  Rng rng(13);
+  const FlowSet light = make_background_flows(gen, 4, 0.05, 0.0, rng);
+  Rng rng2(13);
+  const FlowSet heavy = make_background_flows(gen, 6, 0.45, 0.0, rng2);
+
+  const EpochReport lo = controller.run_epoch(light, 0.1, rng);
+  const EpochReport hi = controller.run_epoch(heavy, 0.5, rng);
+  EXPECT_GE(hi.wanted_switches, lo.wanted_switches);
+}
+
+}  // namespace
+}  // namespace eprons

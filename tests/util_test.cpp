@@ -1,0 +1,209 @@
+// Unit tests for src/util: RNG determinism and distributions, string
+// helpers, CLI parsing, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace eprons {
+namespace {
+
+TEST(Types, WorkTimeConversionRoundTrips) {
+  const Work w = 2.5e6;  // 2.5 Mcycles
+  const Freq f = 2.0;    // GHz
+  const SimTime t = work_to_time(w, f);
+  EXPECT_DOUBLE_EQ(t, 1250.0);  // 2.5e6 cycles at 2000 cycles/us
+  EXPECT_DOUBLE_EQ(time_to_work(t, f), w);
+}
+
+TEST(Types, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(ms(30.0), 30000.0);
+  EXPECT_DOUBLE_EQ(sec(2.0), 2e6);
+  EXPECT_DOUBLE_EQ(to_ms(5000.0), 5.0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.split();
+  // Child and parent streams must not coincide.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+  // Splitting twice from the same original seed is deterministic.
+  Rng parent2(7);
+  Rng child2 = parent2.split();
+  Rng child_ref = Rng(7).split();
+  EXPECT_EQ(child2.next(), child_ref.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(3.0);
+  EXPECT_NEAR(total / n, 3.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double total = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    total += x;
+    sq += x * x;
+  }
+  const double mean = total / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(17);
+  for (const double mean : {2.0, 80.0}) {
+    double total = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(total / n, mean, mean * 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.3, 1.0, 50.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 50.0 + 1e-9);
+  }
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseDoubleRejectsTrailingGarbage) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double(" 42 ", v));
+  EXPECT_FALSE(parse_double("3.5x", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Strings, ParseIntBasics) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("-17", v));
+  EXPECT_EQ(v, -17);
+  EXPECT_FALSE(parse_int("1.5", v));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(strformat("k=%d u=%.2f", 3, 0.5), "k=3 u=0.50");
+}
+
+TEST(Cli, ParsesAllFlagForms) {
+  const char* argv[] = {"prog", "--util=0.3", "--k=4", "--csv", "pos1"};
+  Cli cli(5, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("util", 0.0), 0.3);
+  EXPECT_EQ(cli.get_int("k", 0), 4);
+  EXPECT_TRUE(cli.has_flag("csv"));
+  EXPECT_FALSE(cli.has_flag("absent"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksAndUnused) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("nodes", 16), 16);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream pretty, csv;
+  t.print(pretty);
+  t.print_csv(csv);
+  EXPECT_NE(pretty.str().find("alpha"), std::string::npos);
+  EXPECT_NE(csv.str().find("alpha,1.500"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialFields) {
+  Table t({"x"});
+  t.add_row({std::string("a,b")});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, IntegerCellsPrintWithoutDecimals) {
+  Table t({"n"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("42\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eprons

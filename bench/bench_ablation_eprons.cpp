@@ -17,7 +17,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const double duration_s = cli.get_double("duration", 8.0);
   bench::print_header(
       "Ablation — EPRONS-Server mechanisms + TimeTrader-under-consolidation",
@@ -25,13 +25,13 @@ int main(int argc, char** argv) {
       "shapes which requests miss; consolidated networks make TimeTrader "
       "conservative (section I)");
 
-  bench::Fixture fx;
-  const AggregationPolicies policies(&fx.topo);
+  const Scenario scn = bench::make_scenario(cli);
+  const AggregationPolicies policies(scn.fat_tree());
   const auto full = policies.policy(0).switch_on;
   const auto agg2 = policies.policy(2).switch_on;
   Rng bg_rng(900);
   const FlowSet background =
-      make_background_flows(bench::bench_flow_gen(), 6, 0.20, 0.1, bg_rng);
+      make_background_flows(scn.flow_gen(), 6, 0.20, 0.1, bg_rng);
 
   auto run = [&](const std::string& policy, double util,
                  const std::vector<bool>* subnet) {
@@ -40,8 +40,7 @@ int main(int argc, char** argv) {
     scenario.cluster.target_utilization = util;
     scenario.cluster.duration = sec(duration_s);
     scenario.cluster.warmup = sec(1.0);
-    return run_search_scenario(fx.topo, fx.service_model, fx.power_model,
-                               background, scenario, subnet);
+    return scn.run(background, scenario, subnet);
   };
 
   std::printf("(1) EPRONS-Server feature knockout (full topology)\n");
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
                hi.metrics.avg_cpu_power_per_server,
                100.0 * hi.metrics.subquery_miss_rate});
   }
-  t.print(std::cout, csv);
+  t.print(std::cout, fmt);
 
   std::printf("\n(2) TimeTrader on a consolidated network (aggregation 2): "
               "the ECN signal turns it conservative\n");
@@ -74,6 +73,6 @@ int main(int argc, char** argv) {
                 to_ms(result.metrics.subquery_latency.p95),
                 100.0 * result.metrics.subquery_miss_rate});
   }
-  t2.print(std::cout, csv);
+  t2.print(std::cout, fmt);
   return 0;
 }

@@ -14,18 +14,15 @@ using namespace eprons;
 
 namespace {
 
-void sweep(const Topology& topo, const char* name, bool csv,
-           const ServiceModel& service, const ServerPowerModel& power) {
+void sweep(const Scenario& scn, const char* name, TableFormat fmt) {
+  const Topology& topo = scn.topology();
   std::printf("%s: %d hosts, %d switches\n", name, topo.num_hosts(),
               topo.num_switches());
-  FlowGenConfig gen;
-  gen.num_hosts = topo.num_hosts();
-  gen.hosts_per_edge = topo.hosts_per_access_switch();
-  gen.exclude_host = 0;
+  FlowGenConfig gen = scn.flow_gen();
   Rng rng(11);
   const FlowSet background = make_background_flows(gen, 6, 0.3, 0.1, rng);
 
-  const JointOptimizer optimizer(&topo, &service, &power);
+  const JointOptimizer optimizer = scn.optimizer();
   Table t({"K", "feasible", "active_switches", "net_p95_ms",
            "predicted_total_W"});
   t.set_precision(2);
@@ -35,7 +32,7 @@ void sweep(const Topology& topo, const char* name, bool csv,
                static_cast<long long>(plan.placement.active_switches),
                to_ms(plan.slack.total_p95), plan.total_power});
   }
-  t.print(std::cout, csv);
+  t.print(std::cout, fmt);
   std::printf("\n");
 }
 
@@ -43,23 +40,31 @@ void sweep(const Topology& topo, const char* name, bool csv,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Ablation — topology independence (fat-tree vs leaf-spine)",
       "the consolidation model runs unchanged on any multipath fabric "
       "(section IV-B)");
 
-  Rng rng(1);
   SyntheticWorkloadConfig wl;
   wl.samples = 30000;
   wl.bins = 256;
-  const ServiceModel service = make_search_service_model(wl, rng);
-  const ServerPowerModel power;
+  const RuntimeConfig runtime = runtime_from_cli(cli);
 
-  const FatTree fat_tree(4);
-  sweep(fat_tree, "4-ary fat-tree", csv, service, power);
+  const Scenario fat_tree = ScenarioBuilder()
+                                .seed(1)
+                                .fat_tree(4)
+                                .workload(wl)
+                                .runtime(runtime)
+                                .build();
+  sweep(fat_tree, "4-ary fat-tree", fmt);
 
-  const LeafSpine leaf_spine(4, 4, 4);  // 16 hosts, 8 switches
-  sweep(leaf_spine, "4-leaf / 4-spine Clos", csv, service, power);
+  const Scenario leaf_spine = ScenarioBuilder()
+                                  .seed(1)
+                                  .leaf_spine(4, 4, 4)  // 16 hosts, 8 switches
+                                  .workload(wl)
+                                  .runtime(runtime)
+                                  .build();
+  sweep(leaf_spine, "4-leaf / 4-spine Clos", fmt);
   return 0;
 }

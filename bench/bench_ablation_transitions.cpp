@@ -14,13 +14,13 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Ablation — transition overheads and backup-path linger policy",
       "72.52 s switch boots; backup paths trade idle-switch energy for "
       "availability (section IV-B)");
 
-  bench::Fixture fx;
+  const Scenario scn = bench::make_scenario(cli);
   const DiurnalTraceConfig trace_config;
   const auto trace = make_diurnal_trace(trace_config);
   const int epoch_minutes = 10;  // the paper's re-optimization period
@@ -35,16 +35,14 @@ int main(int argc, char** argv) {
     config.transition.epoch_length = sec(60.0 * epoch_minutes);
     config.joint.slack.samples_per_pair = 120;
     config.samples_per_epoch = 60;
-    EpochController controller(&fx.topo, &fx.service_model, &fx.power_model,
-                               config);
+    EpochController controller = scn.epoch_controller(config);
     Rng rng(77);
     long long switch_epochs = 0;
     int epochs = 0;
     for (std::size_t m = 0; m < trace.size();
          m += static_cast<std::size_t>(epoch_minutes)) {
       const TracePoint& point = trace[m];
-      FlowGenConfig gen;
-      gen.exclude_host = 0;
+      const FlowGenConfig gen = scn.flow_gen();
       Rng flow_rng(2000 + m);
       const FlowSet background = make_background_flows(
           gen, 6, point.background_util, 0.1, flow_rng);
@@ -63,7 +61,7 @@ int main(int argc, char** argv) {
                boot_wh, linger_wh, boot_wh + linger_wh,
                static_cast<double>(switch_epochs) / epochs});
   }
-  t.print(std::cout, csv);
+  t.print(std::cout, fmt);
   std::printf("\nlinger=0 boots switches on the datapath (each adds a "
               "72.52 s window where the new subnet is not ready); larger "
               "linger trades idle-switch energy for availability.\n");

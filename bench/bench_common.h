@@ -1,50 +1,37 @@
 // Shared fixtures for the figure-reproduction benches.
 //
 // Every bench binary prints the series of one paper figure as an aligned
-// table (or CSV with --csv) plus a short header stating what the paper
-// reported, so `for b in build/bench/*; do $b; done` produces a complete
-// paper-vs-measured record.
+// table (or CSV/JSON with --csv/--json) plus a short header stating what
+// the paper reported, so `for b in build/bench/*; do $b; done` produces a
+// complete paper-vs-measured record.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "dvfs/synthetic_workload.h"
-#include "flow/flow.h"
-#include "power/server_power.h"
-#include "topo/fattree.h"
+#include "core/scenario.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace eprons::bench {
 
-struct Fixture {
-  FatTree topo{4};
-  ServerPowerModel power_model{};
-  ServiceModel service_model;
-
-  explicit Fixture(std::uint64_t seed = 1)
-      : service_model(make_model(seed)) {}
-
- private:
-  static ServiceModel make_model(std::uint64_t seed) {
-    Rng rng(seed);
-    SyntheticWorkloadConfig config;
-    config.samples = 50000;
-    config.bins = 256;
-    return make_search_service_model(config, rng);
-  }
-};
-
-/// Background-flow generator config shared by the figure benches: the
-/// aggregator (host 0) is excluded so elephants never contend with the
-/// query fan-in on its edge downlink.
-inline FlowGenConfig bench_flow_gen() {
-  FlowGenConfig config;
-  config.exclude_host = 0;
-  return config;
+/// The benches' common substrate: 4-ary fat-tree, synthetic search
+/// workload (50K samples, 256 bins — enough resolution for figure
+/// reproduction at a fraction of the paper's 100K build cost), default
+/// Xeon power calibration. Honors --threads[=N] so any figure bench can
+/// run its planner in parallel without changing results.
+inline Scenario make_scenario(const Cli& cli, std::uint64_t seed = 1) {
+  SyntheticWorkloadConfig workload;
+  workload.samples = 50000;
+  workload.bins = 256;
+  return ScenarioBuilder()
+      .seed(seed)
+      .fat_tree(4)
+      .workload(workload)
+      .runtime(runtime_from_cli(cli))
+      .build();
 }
 
 inline void print_header(const std::string& figure,

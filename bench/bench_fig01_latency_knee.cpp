@@ -15,7 +15,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 1 — utilization vs network latency (knee)",
       "flat ~139 us at low utilization; ~11.98 ms past the knee");
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                    to_ms(samples.quantile(0.95)),
                    to_ms(samples.quantile(0.99))});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
 
   // Pin the two calibration anchors the paper quotes.
   PercentileEstimator low, high;

@@ -28,7 +28,7 @@ std::string path_string(const Graph& graph, const Path& path) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 2 — scale factor K example (exact MILP)",
       "K=1 all flows share the elephant's path; K=2 one sensitive flow "
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     ConsolidationConfig config;
     config.scale_factor_k = k;
     config.safety_margin = 50.0;
-    const ConsolidationResult result = milp.consolidate(flows, config);
+    const ConsolidationResult result = milp.consolidate(topo, flows, config);
     if (!result.feasible) {
       std::printf("K=%d infeasible\n", k);
       continue;
@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
                    scaled.max_utilization()});
   }
   std::printf("\n");
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   return 0;
 }

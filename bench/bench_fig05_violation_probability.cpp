@@ -13,14 +13,14 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 4/5 — violation probability vs frequency; average-VP selection",
       "avg-VP frequency f_new < max-VP frequency f2; R1's VP at f2 (~1.8%) "
       "wastes energy against the 5% budget");
 
-  bench::Fixture fx;
-  const ServiceModel& model = fx.service_model;
+  const Scenario scn = bench::make_scenario(cli);
+  const ServiceModel& model = scn.service_model();
 
   // Two queued requests, R2 tighter than R1 relative to its queue position
   // (mirrors the Fig. 4 setup: deadlines D1 < D2 but R2e = R1 + R2).
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                                                    r2.deadline_with_slack, f);
     table.add_row({f, 100.0 * vp1, 100.0 * vp2, 100.0 * (vp1 + vp2) / 2.0});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
 
   RubikPlusPolicy rubik_plus(&model);
   EpronsServerPolicy eprons(&model);
@@ -67,6 +67,6 @@ int main(int argc, char** argv) {
                   100.0 * model.fresh_convolution(2).ccdf(w),
                   100.0 * model.fresh_convolution(3).ccdf(w)});
   }
-  fig5.print(std::cout, csv);
+  fig5.print(std::cout, fmt);
   return 0;
 }

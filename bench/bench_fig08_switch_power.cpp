@@ -11,7 +11,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 8 — switch power vs link utilization",
       "idle 97.5 W; +0.59 W from 0 to 100% utilization (0.6%), "
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                    hpe.switch_power(true, util, 2),
                    hpe.switch_power(true, util, 4)});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
 
   const double delta =
       hpe.switch_power(true, 1.0, 4) - hpe.switch_power(true, 0.0, 4);

@@ -11,7 +11,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 9 — aggregation policies 0-3",
       "progressively fewer active switches (20 -> 13 for k=4), hosts stay "
@@ -41,6 +41,6 @@ int main(int argc, char** argv) {
                    std::string(connected ? "yes" : "NO"),
                    off.empty() ? std::string("(none)") : off});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   return 0;
 }

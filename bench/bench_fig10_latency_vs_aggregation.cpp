@@ -14,7 +14,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const double duration_s = cli.get_double("duration", 8.0);
   bench::print_header(
       "Fig. 10 — network latency vs aggregation",
@@ -22,21 +22,20 @@ int main(int argc, char** argv) {
       "aggregation 0 to 3; (b) 95th rises with aggregation for 5-50% "
       "background");
 
-  bench::Fixture fx;
-  const AggregationPolicies policies(&fx.topo);
+  const Scenario scn = bench::make_scenario(cli);
+  const AggregationPolicies policies(scn.fat_tree());
 
   auto run_point = [&](int level, double bg) {
     Rng rng(100 + static_cast<std::uint64_t>(bg * 1000));
     const FlowSet background =
-        make_background_flows(bench::bench_flow_gen(), 6, bg, 0.1, rng);
+        make_background_flows(scn.flow_gen(), 6, bg, 0.1, rng);
     ScenarioConfig scenario;
     scenario.cluster.policy = "max";  // isolate the network effect
     scenario.cluster.target_utilization = 0.3;
     scenario.cluster.duration = sec(duration_s);
     scenario.cluster.warmup = sec(1.0);
     const auto subnet = policies.policy(level).switch_on;
-    return run_search_scenario(fx.topo, fx.service_model, fx.power_model,
-                               background, scenario, &subnet);
+    return scn.run(background, scenario, &subnet);
   };
 
   std::printf("(a) 20%% background traffic\n");
@@ -49,7 +48,7 @@ int main(int argc, char** argv) {
                to_ms(result.metrics.network_latency.p95),
                to_ms(result.metrics.network_latency.p99)});
   }
-  a.print(std::cout, csv);
+  a.print(std::cout, fmt);
 
   std::printf("\n(b) 95th-percentile tail network latency (ms)\n");
   Table b({"aggregation", "bg_5%", "bg_10%", "bg_20%", "bg_30%", "bg_50%"});
@@ -62,6 +61,6 @@ int main(int argc, char** argv) {
     }
     b.add_row(std::move(row));
   }
-  b.print(std::cout, csv);
+  b.print(std::cout, fmt);
   return 0;
 }

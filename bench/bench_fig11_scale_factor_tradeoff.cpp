@@ -12,14 +12,14 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const double duration_s = cli.get_double("duration", 8.0);
   bench::print_header(
       "Fig. 11 — scale factor K vs tail latency and active switches",
       "larger K: lower network tail, more switches (13-19 active); the "
       "knee of the (switches, tail) curve picks the operating K");
 
-  bench::Fixture fx;
+  const Scenario scn = bench::make_scenario(cli);
   const std::vector<double> backgrounds = {0.05, 0.10, 0.20, 0.30, 0.50};
 
   struct Point {
@@ -40,8 +40,7 @@ int main(int argc, char** argv) {
       scenario.cluster.warmup = sec(1.0);
       scenario.consolidation.scale_factor_k = k;
       const auto result =
-          run_search_scenario(fx.topo, fx.service_model, fx.power_model,
-                              background, scenario);  // free consolidation
+          scn.run(background, scenario);  // free consolidation
       grid[b].push_back(Point{to_ms(result.metrics.network_latency.p95),
                               result.placement.active_switches});
     }
@@ -57,7 +56,7 @@ int main(int argc, char** argv) {
     }
     a.add_row(std::move(row));
   }
-  a.print(std::cout, csv);
+  a.print(std::cout, fmt);
 
   std::printf("\n(b) active switches vs K\n");
   Table bt({"K", "bg_5%", "bg_10%", "bg_20%", "bg_30%", "bg_50%"});
@@ -69,7 +68,7 @@ int main(int argc, char** argv) {
     }
     bt.add_row(std::move(row));
   }
-  bt.print(std::cout, csv);
+  bt.print(std::cout, fmt);
 
   std::printf("\n(c) (active switches, tail ms) per K at 50%% background\n");
   Table c({"K", "active_switches", "tail_ms"});
@@ -79,6 +78,6 @@ int main(int argc, char** argv) {
     c.add_row({static_cast<long long>(k),
                static_cast<long long>(p.switches), p.tail_ms});
   }
-  c.print(std::cout, csv);
+  c.print(std::cout, fmt);
   return 0;
 }

@@ -26,7 +26,7 @@ struct PolicyRun {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const double duration_s = cli.get_double("duration", 8.0);
   bench::print_header(
       "Fig. 12 — server power management (Rubik/Rubik+/TimeTrader/EPRONS)",
@@ -34,12 +34,12 @@ int main(int argc, char** argv) {
       "highest managed; (b) constraints < ~18 ms unreachable, EPRONS best "
       "from 19 ms; (c) power falls steeply as the constraint loosens");
 
-  bench::Fixture fx;
-  const AggregationPolicies policies(&fx.topo);
+  const Scenario scn = bench::make_scenario(cli);
+  const AggregationPolicies policies(scn.fat_tree());
   const auto full = policies.policy(0).switch_on;  // no net power mgmt
   Rng bg_rng(300);
   const FlowSet background =
-      make_background_flows(bench::bench_flow_gen(), 6, 0.20, 0.1, bg_rng);
+      make_background_flows(scn.flow_gen(), 6, 0.20, 0.1, bg_rng);
 
   auto run = [&](const std::string& policy, double util,
                  double constraint_ms, double server_budget_ms) {
@@ -50,9 +50,7 @@ int main(int argc, char** argv) {
     scenario.cluster.server_budget = ms(server_budget_ms);
     scenario.cluster.duration = sec(duration_s);
     scenario.cluster.warmup = sec(1.0);
-    const auto result = run_search_scenario(
-        fx.topo, fx.service_model, fx.power_model, background, scenario,
-        &full);
+    const auto result = scn.run(background, scenario, &full);
     return PolicyRun{result.metrics.avg_cpu_power_per_server,
                      to_ms(result.metrics.subquery_latency.p95),
                      result.metrics.subquery_miss_rate};
@@ -72,7 +70,7 @@ int main(int argc, char** argv) {
     }
     a.add_row(std::move(row));
   }
-  a.print(std::cout, csv);
+  a.print(std::cout, fmt);
 
   std::printf(
       "\n(b) CPU power (W/server) vs constraint @ 30%% utilization\n"
@@ -90,7 +88,7 @@ int main(int argc, char** argv) {
       }
       b.add_row(std::move(row));
     }
-    b.print(std::cout, csv);
+    b.print(std::cout, fmt);
 
     // SLA feasibility companion: p95 vs constraint for EPRONS.
     Table miss({"constraint_ms", "eprons_p95_ms", "eprons_miss_%"});
@@ -100,7 +98,7 @@ int main(int argc, char** argv) {
       miss.add_row({c, r.p95_ms, 100.0 * r.miss});
     }
     std::printf("\n    EPRONS-Server SLA check:\n");
-    miss.print(std::cout, csv);
+    miss.print(std::cout, fmt);
   }
 
   std::printf("\n(c) EPRONS-Server CPU power (W/server): utilization x "
@@ -117,7 +115,7 @@ int main(int argc, char** argv) {
       }
       ct.add_row(std::move(row));
     }
-    ct.print(std::cout, csv);
+    ct.print(std::cout, fmt);
   }
   return 0;
 }

@@ -15,7 +15,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const double duration_s = cli.get_double("duration", 6.0);
   bench::print_header(
       "Fig. 13 — total system power vs constraint, by aggregation policy",
@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
       "20-50% background the tightest constraints favor turning switches "
       "back ON (aggregation 2 beats 3)");
 
-  bench::Fixture fx;
-  const AggregationPolicies policies(&fx.topo);
+  const Scenario scn = bench::make_scenario(cli);
+  const AggregationPolicies policies(scn.fat_tree());
   const std::vector<double> constraints = {19, 22, 25, 28, 31, 34, 37, 40};
   // An operating point "meets" the SLA if the request miss rate stays near
   // the 5% budget; beyond this the row shows "-" like the paper's missing
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
     Rng bg_rng(400 + static_cast<std::uint64_t>(bg * 100));
     const FlowSet background =
-        make_background_flows(bench::bench_flow_gen(), 6, bg, 0.1, bg_rng);
+        make_background_flows(scn.flow_gen(), 6, bg, 0.1, bg_rng);
 
     // Baseline: no power management (full topology, max frequency).
     {
@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
       scenario.cluster.duration = sec(duration_s);
       scenario.cluster.warmup = sec(1.0);
       const auto result =
-          run_search_scenario(fx.topo, fx.service_model, fx.power_model,
-                              background, scenario, &full);
+          scn.run(background, scenario, &full);
       for (std::size_t i = 0; i < constraints.size(); ++i) {
         row.push_back(result.metrics.total_system_power);
       }
@@ -72,8 +71,7 @@ int main(int argc, char** argv) {
         scenario.cluster.duration = sec(duration_s);
         scenario.cluster.warmup = sec(1.0);
         const auto result =
-            run_search_scenario(fx.topo, fx.service_model, fx.power_model,
-                                background, scenario, &subnet);
+            scn.run(background, scenario, &subnet);
         if (result.metrics.subquery_miss_rate > miss_budget) {
           row.push_back(std::string("-"));  // constraint not supportable
         } else {
@@ -82,7 +80,7 @@ int main(int argc, char** argv) {
       }
       table.add_row(std::move(row));
     }
-    table.print(std::cout, csv);
+    table.print(std::cout, fmt);
     std::printf("\n");
   }
   return 0;

@@ -10,7 +10,7 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const int stride = cli.has_flag("minutes") ? 1 : 60;
   bench::print_header(
       "Fig. 14 — diurnal trace (search load, background traffic)",
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     lo_b = std::min(lo_b, p.background_util);
     hi_b = std::max(hi_b, p.background_util);
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   std::printf("\nsearch load range %.0f-%.0f%% of peak; background "
               "%.0f-%.0f%% of bandwidth\n",
               100.0 * lo_s, 100.0 * hi_s, 100.0 * lo_b, 100.0 * hi_b);

@@ -15,13 +15,13 @@ using namespace eprons;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   bench::print_header(
       "Fig. 15 — diurnal total system power and average savings",
       "EPRONS avg total saving ~25% (TimeTrader ~8%); peak 31.25% vs "
       "12.5%; TimeTrader network saving 0");
 
-  bench::Fixture fx;
+  const Scenario scn = bench::make_scenario(cli);
   TraceReplayConfig config;
   config.scenario.cluster.warmup = sec(1.0);
   config.scenario.cluster.duration =
@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
   config.peak_utilization = cli.get_double("peak-util", 0.5);
   config.joint.slack.samples_per_pair = 200;
 
-  const TraceReplay replay(&fx.topo, &fx.service_model, &fx.power_model,
-                           config);
+  const TraceReplay replay = scn.trace_replay(config);
   const ReplayResult base = replay.replay(Scheme::NoPowerManagement);
   const ReplayResult timetrader = replay.replay(Scheme::TimeTrader);
   const ReplayResult eprons = replay.replay(Scheme::Eprons);
@@ -46,7 +45,7 @@ int main(int argc, char** argv) {
                     eprons.series[i].total_power,
                     eprons.series[i].network_power});
   }
-  series.print(std::cout, csv);
+  series.print(std::cout, fmt);
 
   std::printf("\n(b) average power saving vs no power management (%%)\n");
   const auto tt = TraceReplay::savings(base, timetrader);
@@ -58,7 +57,7 @@ int main(int argc, char** argv) {
                    tt.total_pct, tt.peak_total_pct});
   savings.add_row({std::string("eprons"), ep.server_pct, ep.network_pct,
                    ep.total_pct, ep.peak_total_pct});
-  savings.print(std::cout, csv);
+  savings.print(std::cout, fmt);
 
   std::printf("\nEPRONS calibration points (per diurnal shape):\n");
   Table calib({"shape", "utilization", "bg_util", "K", "switches",
@@ -69,6 +68,6 @@ int main(int argc, char** argv) {
                    static_cast<long long>(p.active_switches),
                    p.cpu_power_per_server, 100.0 * p.subquery_miss_rate});
   }
-  calib.print(std::cout, csv);
+  calib.print(std::cout, fmt);
   return 0;
 }

@@ -30,7 +30,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
   const int max_exact = static_cast<int>(cli.get_int("max-exact", 8));
   // The dense arc LP grows as (flows x nodes) rows by (flows x arcs)
   // columns; past ~24 flows a solve takes minutes on this substrate --
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     }
     if (flows_n <= max_exact) {
       const auto start = std::chrono::steady_clock::now();
-      const ConsolidationResult exact = milp.consolidate(flows, config);
+      const ConsolidationResult exact = milp.consolidate(topo, flows, config);
       const double secs = seconds_since(start);
       row.push_back(exact.feasible
                         ? Cell{static_cast<long long>(exact.active_switches)}
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
     }
     {
       const auto start = std::chrono::steady_clock::now();
-      const ConsolidationResult heur = greedy.consolidate(flows, config);
+      const ConsolidationResult heur = greedy.consolidate(topo, flows, config);
       const double secs = seconds_since(start);
       row.push_back(heur.feasible
                         ? Cell{static_cast<long long>(heur.active_switches)}
@@ -109,6 +109,6 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   return 0;
 }

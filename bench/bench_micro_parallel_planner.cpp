@@ -1,0 +1,103 @@
+// Microbenchmark: serial vs parallel joint-optimizer K search.
+//
+// The K search is the planner's hot path — every diurnal epoch pays one
+// full optimize() (per-K consolidation + Monte-Carlo slack estimation +
+// server power prediction). This bench times optimize() at 1/2/4 worker
+// threads on the standard 4-ary fat-tree scenario, verifies the chosen
+// plan is bit-identical across thread counts (the determinism contract:
+// results are a function of seed and shard count, never of worker count),
+// and reports the speedup.
+//
+//   ./bench_micro_parallel_planner [--reps=5] [--samples=400] [--csv|--json]
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/joint_optimizer.h"
+
+using namespace eprons;
+
+namespace {
+
+double time_optimize(const JointOptimizer& optimizer,
+                     const FlowSet& background, double utilization, int reps,
+                     JointPlan* out) {
+  double best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    JointPlan plan = optimizer.optimize(background, utilization);
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    best_ms = std::min(best_ms, elapsed_ms);
+    *out = std::move(plan);
+  }
+  return best_ms;
+}
+
+bool plans_identical(const JointPlan& a, const JointPlan& b) {
+  return a.feasible == b.feasible && a.k == b.k &&
+         a.placement.switch_on == b.placement.switch_on &&
+         a.placement.flow_paths == b.placement.flow_paths &&
+         a.slack.request_p95 == b.slack.request_p95 &&
+         a.slack.total_p95 == b.slack.total_p95 &&
+         a.effective_server_budget == b.effective_server_budget &&
+         a.network_power == b.network_power &&
+         a.total_power == b.total_power;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const TableFormat fmt = table_format_from_cli(cli);
+  const int reps = static_cast<int>(cli.get_int("reps", 5));
+  bench::print_header(
+      "Micro — parallel joint-optimizer K search",
+      "n/a (implementation microbenchmark: identical plans at any thread "
+      "count, speedup from evaluating the K candidates concurrently)");
+
+  const Scenario scn = bench::make_scenario(cli);
+  Rng bg_rng(42);
+  const FlowSet background =
+      make_background_flows(scn.flow_gen(), 6, 0.2, 0.1, bg_rng);
+  const double utilization = 0.3;
+
+  JointOptimizerConfig config;
+  config.slack.samples_per_pair =
+      static_cast<int>(cli.get_int("samples", 400));
+
+  Table table({"threads", "best_ms", "speedup", "K", "total_W",
+               "plan_identical"});
+  table.set_precision(2);
+
+  JointPlan serial_plan;
+  double serial_ms = 0.0;
+  bool all_identical = true;
+  for (int threads : {1, 2, 4}) {
+    JointOptimizerConfig cfg = config;
+    cfg.runtime.threads = threads;
+    const JointOptimizer optimizer = scn.optimizer(cfg);
+    JointPlan plan;
+    const double best_ms =
+        time_optimize(optimizer, background, utilization, reps, &plan);
+    if (threads == 1) {
+      serial_plan = plan;
+      serial_ms = best_ms;
+    }
+    const bool identical = plans_identical(plan, serial_plan);
+    all_identical = all_identical && identical;
+    table.add_row({static_cast<long long>(threads), best_ms,
+                   serial_ms / best_ms, plan.k, plan.total_power,
+                   std::string(identical ? "yes" : "NO")});
+  }
+  table.print(std::cout, fmt);
+
+  if (!all_identical) {
+    std::printf("\nFAIL: parallel plan differs from the serial plan\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("\nall thread counts produced bit-identical plans\n");
+  return EXIT_SUCCESS;
+}

@@ -1,14 +1,17 @@
 // Consolidation planner: explore latency-aware traffic consolidation on a
 // k-ary fat-tree from the command line.
 //
-// Generates (or uses the Fig. 2) flow mix, runs the greedy heuristic and —
-// for small instances — the exact MILP, and prints the chosen subnet, the
-// per-flow paths, and the network power at each scale factor K.
+// Generates (or uses the Fig. 2) flow mix, runs every registered
+// Consolidator implementation (the greedy heuristic and — for small
+// instances — the exact MILP) through the shared interface, and prints the
+// chosen subnet, the per-flow paths, and the network power at each scale
+// factor K.
 //
 //   ./consolidation_planner --flows=6 --background=0.3 --kmax=4 --exact
 //   ./consolidation_planner --fig2
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "consolidate/greedy_consolidator.h"
 #include "consolidate/milp_consolidator.h"
@@ -46,7 +49,7 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(cli.get_int("k", 4));
   const int kmax = static_cast<int>(cli.get_int("kmax", 3));
   const bool exact = cli.has_flag("exact") || cli.has_flag("fig2");
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
 
   const FatTree topo(k);
 
@@ -71,35 +74,39 @@ int main(int argc, char** argv) {
               flows.count(FlowClass::LatencySensitive));
 
   Table summary({"K", "method", "feasible", "active_switches", "network_W"});
-  const GreedyConsolidator greedy(&topo);
-  const MilpConsolidator milp(&topo);
+
+  // Both planners implement the abstract Consolidator interface, so the
+  // sweep below is written once against the base class; dropping in a new
+  // placement strategy only requires adding it to this list.
+  const GreedyConsolidator greedy;
+  const MilpConsolidator milp;
+  std::vector<const Consolidator*> planners = {&greedy};
+  if (exact) planners.push_back(&milp);
 
   for (int scale = 1; scale <= kmax; ++scale) {
     ConsolidationConfig config;
     config.scale_factor_k = scale;
 
-    const ConsolidationResult heur = greedy.consolidate(flows, config);
-    summary.add_row({static_cast<long long>(scale), std::string("greedy"),
-                     std::string(heur.feasible ? "yes" : "no"),
-                     static_cast<long long>(heur.active_switches),
-                     heur.network_power});
-    if (exact) {
-      const ConsolidationResult opt = milp.consolidate(flows, config);
-      summary.add_row({static_cast<long long>(scale), std::string("milp"),
-                       std::string(opt.feasible ? "yes" : "no"),
-                       static_cast<long long>(opt.active_switches),
-                       opt.network_power});
-      if (opt.feasible && scale <= 3) {
+    for (const Consolidator* planner : planners) {
+      const ConsolidationResult result =
+          planner->consolidate(topo, flows, config);
+      summary.add_row({static_cast<long long>(scale),
+                       std::string(planner->name()),
+                       std::string(result.feasible ? "yes" : "no"),
+                       static_cast<long long>(result.active_switches),
+                       result.network_power});
+      if (exact && planner == &milp && result.feasible && scale <= 3) {
         std::printf("K=%d exact paths:\n", scale);
         for (std::size_t i = 0; i < flows.size(); ++i) {
-          std::printf("  flow %zu (%s, %.0f Mbps): %s\n", i,
-                      flow_class_name(flows[i].cls), flows[i].demand,
-                      path_to_string(topo.graph(), opt.flow_paths[i]).c_str());
+          std::printf(
+              "  flow %zu (%s, %.0f Mbps): %s\n", i,
+              flow_class_name(flows[i].cls), flows[i].demand,
+              path_to_string(topo.graph(), result.flow_paths[i]).c_str());
         }
       }
     }
   }
   std::printf("\n");
-  summary.print(std::cout, csv);
+  summary.print(std::cout, fmt);
   return 0;
 }

@@ -3,11 +3,10 @@
 // and falling load ramp, with the backup-path transition policy hiding the
 // 72.52 s switch boot time.
 //
-//   ./epoch_controller_demo [--epochs=12] [--linger=1] [--csv]
+//   ./epoch_controller_demo [--epochs=12] [--linger=1] [--csv] [--threads=4]
 #include <iostream>
 
-#include "core/epoch_controller.h"
-#include "dvfs/synthetic_workload.h"
+#include "core/scenario.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -16,19 +15,20 @@ using namespace eprons;
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int epochs = static_cast<int>(cli.get_int("epochs", 12));
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
 
-  const FatTree topo(4);
-  const ServerPowerModel power;
-  Rng wl_rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
-  const ServiceModel service =
-      make_search_service_model(SyntheticWorkloadConfig{}, wl_rng);
+  const Scenario scn =
+      ScenarioBuilder()
+          .seed(static_cast<std::uint64_t>(cli.get_int("seed", 3)))
+          .fat_tree(4)
+          .runtime(runtime_from_cli(cli))
+          .build();
 
   EpochControllerConfig config;
   config.transition.linger_epochs =
       static_cast<int>(cli.get_int("linger", 1));
   config.joint.slack.samples_per_pair = 150;
-  EpochController controller(&topo, &service, &power, config);
+  EpochController controller = scn.epoch_controller(config);
 
   Table table({"epoch", "bg_util", "server_util", "K", "pred_ratio",
                "wanted_sw", "actual_sw", "boots", "network_W", "feasible"});
@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
     const double bg = 0.05 + 0.45 * phase;
     const double util = 0.05 + 0.45 * phase;
 
-    FlowGenConfig gen;
-    gen.exclude_host = 0;
+    const FlowGenConfig gen = scn.flow_gen();
     Rng flow_rng(100 + e);
     const FlowSet background = make_background_flows(gen, 6, bg, 0.1, flow_rng);
 
@@ -56,7 +55,7 @@ int main(int argc, char** argv) {
                    report.network_power,
                    std::string(report.feasible ? "yes" : "no")});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   std::printf("\ntotal boots: %d, lingering energy: %.2f Wh\n",
               controller.transitions().total_boots(),
               controller.transitions().lingering_energy() / 3.6e9);

@@ -4,11 +4,10 @@
 // Uses the fast analytical predictor (no DES), so the whole day plans in
 // seconds; bench_fig15_diurnal_savings does the DES-validated version.
 //
-//   ./joint_diurnal --epoch=10 --peak-util=0.5 --csv
+//   ./joint_diurnal --epoch=10 --peak-util=0.5 --csv [--threads=4]
 #include <iostream>
 
-#include "core/joint_optimizer.h"
-#include "dvfs/synthetic_workload.h"
+#include "core/scenario.h"
 #include "trace/diurnal.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -19,18 +18,18 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int epoch_minutes = static_cast<int>(cli.get_int("epoch", 60));
   const double peak_util = cli.get_double("peak-util", 0.5);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
 
-  const FatTree topo(4);
-  const ServerPowerModel power_model;
-  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
-  const ServiceModel service_model =
-      make_search_service_model(SyntheticWorkloadConfig{}, rng);
+  const Scenario scn =
+      ScenarioBuilder()
+          .seed(static_cast<std::uint64_t>(cli.get_int("seed", 7)))
+          .fat_tree(4)
+          .runtime(runtime_from_cli(cli))
+          .build();
 
   JointOptimizerConfig joint_config;
   joint_config.slack.samples_per_pair = 200;
-  const JointOptimizer optimizer(&topo, &service_model, &power_model,
-                                 joint_config);
+  const JointOptimizer optimizer = scn.optimizer(joint_config);
 
   DiurnalTraceConfig trace_config;
   const auto trace = make_diurnal_trace(trace_config);
@@ -46,7 +45,8 @@ int main(int argc, char** argv) {
     const double utilization = std::max(0.02, peak_util * point.search_load);
 
     Rng flow_rng(1000 + i);
-    FlowGenConfig gen;
+    FlowGenConfig gen = scn.flow_gen();
+    gen.exclude_host = -1;  // keep the legacy all-hosts elephant mix
     const FlowSet background = make_background_flows(
         gen, 10, point.background_util, 0.1, flow_rng);
 
@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
                    plan.total_power,
                    std::string(plan.feasible ? "yes" : "no")});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   return 0;
 }

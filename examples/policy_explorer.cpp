@@ -7,8 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "dvfs/synthetic_workload.h"
-#include "sim/search_cluster.h"
+#include "core/scenario.h"
 #include "topo/aggregation.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -23,25 +22,24 @@ int main(int argc, char** argv) {
   const double server_budget_ms = cli.get_double("server-budget", 25.0);
   const double background_util = cli.get_double("background", 0.2);
   const double duration_s = cli.get_double("duration", 10.0);
-  const bool csv = cli.has_flag("csv");
+  const TableFormat fmt = table_format_from_cli(cli);
 
   std::vector<std::string> policies =
       split(cli.get_string("policies", "max,timetrader,rubik,rubik+,eprons"),
             ',');
 
-  const FatTree topo(4);
-  const ServerPowerModel power_model;
-  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-  const ServiceModel service_model =
-      make_search_service_model(SyntheticWorkloadConfig{}, rng);
-  FlowGenConfig gen_config;
-  gen_config.exclude_host = 0;  // the aggregator
+  const Scenario scn =
+      ScenarioBuilder()
+          .seed(static_cast<std::uint64_t>(cli.get_int("seed", 1)))
+          .fat_tree(4)
+          .build();
+  Rng rng(scn.seed());
   const FlowSet background =
-      make_background_flows(gen_config, 8, background_util, 0.1, rng);
+      make_background_flows(scn.flow_gen(), 8, background_util, 0.1, rng);
 
   // Server-only comparison: no network power management (full topology),
   // matching the paper's Fig. 12 setup.
-  const AggregationPolicies agg(&topo);
+  const AggregationPolicies agg(scn.fat_tree());
   const auto full = agg.policy(0).switch_on;
 
   Table table({"policy", "cpu_W_per_server", "p95_request_ms", "miss_rate",
@@ -55,14 +53,13 @@ int main(int argc, char** argv) {
     scenario.cluster.server_budget = ms(server_budget_ms);
     scenario.cluster.duration = sec(duration_s);
     scenario.cluster.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    const ScenarioResult result = run_search_scenario(
-        topo, service_model, power_model, background, scenario, &full);
+    const ScenarioResult result = scn.run(background, scenario, &full);
     const ClusterMetrics& m = result.metrics;
     table.add_row({policy, m.avg_cpu_power_per_server,
                    to_ms(m.subquery_latency.p95), m.subquery_miss_rate,
                    m.measured_core_utilization,
                    static_cast<long long>(m.queries_completed)});
   }
-  table.print(std::cout, csv);
+  table.print(std::cout, fmt);
   return 0;
 }

@@ -1,16 +1,15 @@
-// Quickstart: the complete EPRONS pipeline in ~60 lines.
+// Quickstart: the complete EPRONS pipeline in ~50 lines.
 //
-// Builds a 4-ary fat-tree data center, a synthetic search workload, lets
-// the joint optimizer pick the scale factor K, then validates the plan by
-// simulating the cluster with EPRONS-Server DVFS on every index node.
+// Builds a 4-ary fat-tree data center and a synthetic search workload from
+// one seed via ScenarioBuilder, lets the joint optimizer pick the scale
+// factor K, then validates the plan by simulating the cluster with
+// EPRONS-Server DVFS on every index node.
 //
-//   ./quickstart [--util=0.3] [--background=0.2] [--seed=1]
+//   ./quickstart [--util=0.3] [--background=0.2] [--seed=1] [--threads=4]
 #include <algorithm>
 #include <cstdio>
 
-#include "core/joint_optimizer.h"
-#include "dvfs/synthetic_workload.h"
-#include "sim/search_cluster.h"
+#include "core/scenario.h"
 #include "util/cli.h"
 
 using namespace eprons;
@@ -21,32 +20,31 @@ int main(int argc, char** argv) {
   const double background_util = cli.get_double("background", 0.2);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  // 1. The data center: 16 servers on a 4-ary fat-tree, 1 Gbps links.
-  const FatTree topo(4);
-  const ServerPowerModel power_model;  // 12-core Xeon calibration
+  // 1. The substrate: 16 servers on a 4-ary fat-tree (1 Gbps links), a
+  //    synthetic search-engine service-time distribution (stands in for
+  //    the paper's Xapian-over-Wikipedia measurements), and the 12-core
+  //    Xeon power calibration — all derived from one seed.
+  const Scenario scn = ScenarioBuilder()
+                           .seed(seed)
+                           .fat_tree(4)
+                           .runtime(runtime_from_cli(cli))
+                           .build();
 
-  // 2. The workload: a synthetic search-engine service-time distribution
-  //    (stands in for the paper's Xapian-over-Wikipedia measurements).
+  // 2. Background elephants sharing the fabric with the search traffic.
   Rng rng(seed);
-  const ServiceModel service_model =
-      make_search_service_model(SyntheticWorkloadConfig{}, rng);
-
-  // 3. Background elephants sharing the fabric with the search traffic.
-  FlowGenConfig flow_config;
-  flow_config.exclude_host = 0;  // the aggregator host
   const FlowSet background =
-      make_background_flows(flow_config, 8, background_util, 0.1, rng);
+      make_background_flows(scn.flow_gen(), 8, background_util, 0.1, rng);
 
-  // 4. Joint optimization: pick the scale factor K that minimizes
+  // 3. Joint optimization: pick the scale factor K that minimizes
   //    predicted total (server + network) power under the 30 ms SLA.
-  const JointOptimizer optimizer(&topo, &service_model, &power_model);
+  const JointOptimizer optimizer = scn.optimizer();
   const JointPlan plan = optimizer.optimize(background, utilization);
   std::printf("joint plan: K=%.0f  active switches=%d  network=%.0f W  "
               "predicted total=%.0f W  feasible=%s\n",
               plan.k, plan.placement.active_switches, plan.network_power,
               plan.total_power, plan.feasible ? "yes" : "no");
 
-  // 5. Validate with the discrete-event simulator: EPRONS-Server DVFS on
+  // 4. Validate with the discrete-event simulator: EPRONS-Server DVFS on
   //    every ISN, traffic on the optimizer's placement.
   ScenarioConfig scenario;
   scenario.cluster.policy = "eprons";
@@ -62,8 +60,7 @@ int main(int argc, char** argv) {
   }
   const std::vector<bool>* subnet =
       plan.placement.feasible ? &plan.placement.switch_on : nullptr;
-  const ScenarioResult result = run_search_scenario(
-      topo, service_model, power_model, background, scenario, subnet);
+  const ScenarioResult result = scn.run(background, scenario, subnet);
 
   const ClusterMetrics& m = result.metrics;
   std::printf("simulated:  cpu/server=%.2f W  total system=%.0f W\n",

@@ -56,6 +56,26 @@ struct ConsolidationResult {
                                const FlowSet& flows) const;
 };
 
+/// Abstract consolidation strategy, mirroring the `Topology` interface:
+/// the joint optimizer, the epoch controller, and the planning tools
+/// program against this instead of hard-coding the greedy path, so exact
+/// (MILP) and heuristic consolidation are interchangeable per scenario.
+///
+/// Implementations must be safe to call concurrently from multiple
+/// threads on distinct arguments — the joint optimizer consolidates every
+/// K candidate in parallel through one shared instance.
+class Consolidator {
+ public:
+  virtual ~Consolidator() = default;
+
+  virtual ConsolidationResult consolidate(
+      const Topology& topo, const FlowSet& flows,
+      const ConsolidationConfig& config) const = 0;
+
+  /// Stable identifier for tables and logs ("greedy", "milp", ...).
+  virtual const char* name() const = 0;
+};
+
 /// Fills active counts and network power from the masks.
 void finalize_result(const Graph& graph, const ConsolidationConfig& config,
                      ConsolidationResult& result);

@@ -12,8 +12,16 @@ GreedyConsolidator::GreedyConsolidator(const Topology* topo,
 
 ConsolidationResult GreedyConsolidator::consolidate(
     const FlowSet& flows, const ConsolidationConfig& config) const {
-  const Graph& graph = topo_->graph();
-  last_overloaded_ = false;
+  return consolidate(*topo_, flows, config);
+}
+
+ConsolidationResult GreedyConsolidator::consolidate(
+    const Topology& topo, const FlowSet& flows,
+    const ConsolidationConfig& config) const {
+  const Graph& graph = topo.graph();
+  // Tracked per call; a relaxed flag is enough for the diagnostic getter
+  // and keeps concurrent consolidate() calls race-free.
+  bool overloaded = false;
 
   ConsolidationResult result;
   result.switch_on.assign(graph.num_nodes(), false);
@@ -61,12 +69,12 @@ ConsolidationResult GreedyConsolidator::consolidate(
     const Flow& flow = flows[fi];
     const std::vector<Path> candidates =
         config.allowed_switches.empty()
-            ? topo_->all_paths(flow.src_host, flow.dst_host)
-            : topo_->active_paths(flow.src_host, flow.dst_host,
-                                  config.allowed_switches);
+            ? topo.all_paths(flow.src_host, flow.dst_host)
+            : topo.active_paths(flow.src_host, flow.dst_host,
+                                config.allowed_switches);
     if (candidates.empty()) {
       // The restricted subnet disconnects this pair entirely.
-      last_overloaded_ = true;
+      overloaded = true;
       result.feasible = false;
       if (!options_.best_effort_overflow) {
         result.flow_paths.assign(flows.size(), {});
@@ -118,10 +126,11 @@ ConsolidationResult GreedyConsolidator::consolidate(
       if (!options_.best_effort_overflow) {
         result.feasible = false;
         result.flow_paths.assign(flows.size(), {});
+        last_overloaded_.store(overloaded, std::memory_order_relaxed);
         return result;
       }
       // Overflow fallback: the path with the largest bottleneck residual.
-      last_overloaded_ = true;
+      overloaded = true;
       Bandwidth best_bottleneck = -std::numeric_limits<double>::infinity();
       for (std::size_t p = 0; p < candidates.size(); ++p) {
         Bandwidth bottleneck = std::numeric_limits<double>::infinity();
@@ -145,8 +154,9 @@ ConsolidationResult GreedyConsolidator::consolidate(
     activate_path(graph, chosen, result);
   }
 
-  result.feasible = !last_overloaded_;
-  if (options_.best_effort_overflow && last_overloaded_) {
+  last_overloaded_.store(overloaded, std::memory_order_relaxed);
+  result.feasible = !overloaded;
+  if (options_.best_effort_overflow && overloaded) {
     // Placement exists but violated the margin somewhere; callers treat
     // this as "infeasible at this K" for optimization purposes.
     result.feasible = false;

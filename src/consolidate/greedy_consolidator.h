@@ -12,6 +12,8 @@
 // decreasing), so elephants claim the left spine and mice fill gaps.
 #pragma once
 
+#include <atomic>
+
 #include "consolidate/consolidation.h"
 
 namespace eprons {
@@ -33,22 +35,40 @@ struct GreedyConsolidatorOptions {
   PlacementObjective objective = PlacementObjective::MinimizeSwitches;
 };
 
-class GreedyConsolidator {
+class GreedyConsolidator : public Consolidator {
  public:
-  explicit GreedyConsolidator(const Topology* topo,
+  explicit GreedyConsolidator(const Topology* topo = nullptr,
                               GreedyConsolidatorOptions options = {});
 
+  GreedyConsolidator(const GreedyConsolidator& other)
+      : topo_(other.topo_),
+        options_(other.options_),
+        last_overloaded_(other.last_overloaded_.load()) {}
+  GreedyConsolidator& operator=(const GreedyConsolidator& other) {
+    topo_ = other.topo_;
+    options_ = other.options_;
+    last_overloaded_.store(other.last_overloaded_.load());
+    return *this;
+  }
+
+  /// Consolidator interface; thread-safe for concurrent calls.
+  ConsolidationResult consolidate(
+      const Topology& topo, const FlowSet& flows,
+      const ConsolidationConfig& config) const override;
+  const char* name() const override { return "greedy"; }
+
+  /// Convenience form bound to the constructor topology.
   ConsolidationResult consolidate(const FlowSet& flows,
                                   const ConsolidationConfig& config) const;
 
   /// True if the last consolidate() had to overflow some link beyond the
   /// safety margin (only possible with best_effort_overflow).
-  bool last_overloaded() const { return last_overloaded_; }
+  bool last_overloaded() const { return last_overloaded_.load(); }
 
  private:
   const Topology* topo_;
   GreedyConsolidatorOptions options_;
-  mutable bool last_overloaded_ = false;
+  mutable std::atomic<bool> last_overloaded_{false};
 };
 
 }  // namespace eprons

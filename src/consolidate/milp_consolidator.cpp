@@ -13,7 +13,13 @@ MilpConsolidator::MilpConsolidator(const Topology* topo,
 
 ConsolidationResult MilpConsolidator::consolidate(
     const FlowSet& flows, const ConsolidationConfig& config) const {
-  const Graph& graph = topo_->graph();
+  return consolidate(*topo_, flows, config);
+}
+
+ConsolidationResult MilpConsolidator::consolidate(
+    const Topology& topo, const FlowSet& flows,
+    const ConsolidationConfig& config) const {
+  const Graph& graph = topo.graph();
   ConsolidationResult result;
   result.switch_on.assign(graph.num_nodes(), false);
   result.link_on.assign(graph.num_links(), false);
@@ -72,7 +78,7 @@ ConsolidationResult MilpConsolidator::consolidate(
   // exists there).
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const Flow& flow = flows[i];
-    flow_paths[i] = topo_->all_paths(flow.src_host, flow.dst_host);
+    flow_paths[i] = topo.all_paths(flow.src_host, flow.dst_host);
     const double scaled = flow.scaled_demand(config.scale_factor_k);
     std::vector<lp::RowEntry> choose;
     for (std::size_t p = 0; p < flow_paths[i].size(); ++p) {
@@ -117,7 +123,7 @@ ConsolidationResult MilpConsolidator::consolidate(
 
   lp::MilpSolver solver(options_.milp);
   const lp::Solution sol = solver.solve(model);
-  last_nodes_ = solver.last_node_count();
+  last_nodes_.store(solver.last_node_count(), std::memory_order_relaxed);
   if (!sol.ok()) {
     result.feasible = false;
     return result;

@@ -18,6 +18,8 @@
 // optimizer searches K externally (section IV-B solves per-K models).
 #pragma once
 
+#include <atomic>
+
 #include "consolidate/consolidation.h"
 #include "lp/branch_and_bound.h"
 
@@ -27,23 +29,41 @@ struct MilpConsolidatorOptions {
   lp::MilpOptions milp;
 };
 
-class MilpConsolidator {
+class MilpConsolidator : public Consolidator {
  public:
-  explicit MilpConsolidator(const Topology* topo,
+  explicit MilpConsolidator(const Topology* topo = nullptr,
                             MilpConsolidatorOptions options = {});
 
-  /// Places all flows; `result.feasible` is false when demands cannot fit
-  /// (or the node budget ran out with no incumbent).
+  MilpConsolidator(const MilpConsolidator& other)
+      : topo_(other.topo_),
+        options_(other.options_),
+        last_nodes_(other.last_nodes_.load()) {}
+  MilpConsolidator& operator=(const MilpConsolidator& other) {
+    topo_ = other.topo_;
+    options_ = other.options_;
+    last_nodes_.store(other.last_nodes_.load());
+    return *this;
+  }
+
+  /// Consolidator interface: places all flows; `result.feasible` is false
+  /// when demands cannot fit (or the node budget ran out with no
+  /// incumbent).
+  ConsolidationResult consolidate(
+      const Topology& topo, const FlowSet& flows,
+      const ConsolidationConfig& config) const override;
+  const char* name() const override { return "milp"; }
+
+  /// Convenience form bound to the constructor topology.
   ConsolidationResult consolidate(const FlowSet& flows,
                                   const ConsolidationConfig& config) const;
 
   /// Branch-and-bound nodes used by the last consolidate() call.
-  long long last_node_count() const { return last_nodes_; }
+  long long last_node_count() const { return last_nodes_.load(); }
 
  private:
   const Topology* topo_;
   MilpConsolidatorOptions options_;
-  mutable long long last_nodes_ = 0;
+  mutable std::atomic<long long> last_nodes_{0};
 };
 
 }  // namespace eprons

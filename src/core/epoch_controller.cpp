@@ -15,7 +15,13 @@ EpochController::EpochController(const Topology* topo,
       power_model_(power_model),
       config_(std::move(config)),
       predictor_(config_.predictor),
-      transitions_(&topo->graph(), config_.transition) {}
+      transitions_(&topo->graph(), config_.transition) {
+  if (config_.runtime.threads > 1) {
+    config_.joint.runtime = config_.runtime;
+  }
+  optimizer_ = std::make_unique<JointOptimizer>(topo_, service_model_,
+                                                power_model_, config_.joint);
+}
 
 EpochReport EpochController::run_epoch(const FlowSet& true_background,
                                        double utilization, Rng& rng) {
@@ -41,9 +47,7 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
           : ratio_sum / static_cast<double>(true_background.size());
 
   // (ii) Optimize on the predicted demands.
-  const JointOptimizer optimizer(topo_, service_model_, power_model_,
-                                 config_.joint);
-  const JointPlan plan = optimizer.optimize(predicted, utilization);
+  const JointPlan plan = optimizer_->optimize(predicted, utilization);
   report.chosen_k = plan.k;
   report.feasible = plan.feasible;
   report.predicted_total = plan.total_power;

@@ -27,6 +27,10 @@ struct EpochControllerConfig {
   /// Multiplicative noise of each observation around the true rate
   /// (log-normal sigma), modeling measurement + traffic variability.
   double observation_sigma = 0.2;
+  /// Worker threads for the per-epoch joint optimization; copied over
+  /// `joint.runtime` when set to more than one thread. Epoch results are
+  /// independent of this value.
+  RuntimeConfig runtime;
 };
 
 struct EpochReport {
@@ -68,6 +72,8 @@ class EpochController {
   EpochControllerConfig config_;
   DemandPredictor predictor_;
   TransitionController transitions_;
+  /// Persistent so its thread pool survives across epochs.
+  std::unique_ptr<JointOptimizer> optimizer_;
   int epoch_ = 0;
 };
 

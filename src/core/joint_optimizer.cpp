@@ -2,20 +2,35 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 namespace eprons {
 
 JointOptimizer::JointOptimizer(const Topology* topo,
                                const ServiceModel* service_model,
                                const ServerPowerModel* power_model,
-                               JointOptimizerConfig config)
+                               JointOptimizerConfig config,
+                               const Consolidator* consolidator)
     : topo_(topo),
       service_model_(service_model),
       power_model_(power_model),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      consolidator_(consolidator ? consolidator : &default_consolidator_) {
+  if (config_.runtime.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.runtime.threads);
+  }
+}
 
 JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
                                      double utilization, double k) const {
+  return plan_impl(background, utilization, k, pool_.get(),
+                   /*serial_slack=*/false);
+}
+
+JointPlan JointOptimizer::plan_impl(const FlowSet& background,
+                                    double utilization, double k,
+                                    ThreadPool* slack_pool,
+                                    bool serial_slack) const {
   JointPlan plan;
   plan.k = k;
 
@@ -40,8 +55,8 @@ JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
 
   ConsolidationConfig consolidation = config_.consolidation;
   consolidation.scale_factor_k = k;
-  const GreedyConsolidator consolidator(topo_);
-  plan.placement = consolidator.consolidate(plan.flows, consolidation);
+  plan.placement = consolidator_->consolidate(*topo_, plan.flows,
+                                              consolidation);
   plan.network_power = plan.placement.network_power;
 
   // A margin-violating placement is never SLA-feasible, but it still has
@@ -55,9 +70,11 @@ JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
       topo_->graph(), plan.placement, plan.flows, plan.request_flow,
       plan.reply_flow, query_stream_rate(lambda, 1000.0),
       query_stream_rate(lambda, 2000.0));
+  SlackEstimatorConfig slack_config = config_.slack;
+  if (serial_slack) slack_config.runtime.threads = 1;
   plan.slack = estimate_network_slack(topo_->graph(), plan.placement, load,
                                       plan.request_flow, plan.reply_flow,
-                                      config_.slack);
+                                      slack_config, slack_pool);
 
   // Server budget: the SLA minus what the network actually needs at its
   // 95th percentile round trip.
@@ -81,14 +98,31 @@ JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
 
 JointPlan JointOptimizer::optimize(const FlowSet& background,
                                    double utilization) const {
+  std::vector<double> candidates;
+  for (double k = config_.k_min; k <= config_.k_max + 1e-9;
+       k += config_.k_step) {
+    candidates.push_back(k);
+  }
+
+  // Evaluate every candidate independently (concurrently when a pool
+  // exists). While the candidates occupy the pool the slack estimator runs
+  // its shards serially within each candidate — shard count, not worker
+  // placement, determines the estimates, so this only shapes the schedule.
+  const bool parallel_candidates =
+      pool_ != nullptr && pool_->num_threads() > 1 && candidates.size() > 1;
+  std::vector<JointPlan> plans(candidates.size());
+  parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
+    plans[i] = plan_impl(background, utilization, candidates[i],
+                         parallel_candidates ? nullptr : pool_.get(),
+                         /*serial_slack=*/parallel_candidates);
+  });
+
+  // Deterministic serial reduction in candidate order.
   JointPlan best;
   bool have_best = false;
   JointPlan fallback;
   SimTime fallback_p95 = std::numeric_limits<double>::infinity();
-
-  for (double k = config_.k_min; k <= config_.k_max + 1e-9;
-       k += config_.k_step) {
-    JointPlan plan = plan_for_k(background, utilization, k);
+  for (JointPlan& plan : plans) {
     if (plan.feasible) {
       if (!have_best || plan.total_power < best.total_power) {
         best = std::move(plan);

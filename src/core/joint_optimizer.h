@@ -8,7 +8,16 @@
 // data-center power among latency-feasible candidates. This is where
 // "deliberately turn on more switches to let servers slow down" emerges:
 // a larger K costs switches but buys server slack.
+//
+// The K search is the planner's hot path (every bench/diurnal epoch pays
+// it), so with `runtime.threads > 1` all candidates are evaluated
+// concurrently on an internal ThreadPool. Each plan_for_k is a pure
+// function of its inputs (per-shard Rng::split() seeding in the slack
+// estimator, no shared mutable state), so the chosen plan is bit-identical
+// to the serial search for any thread count.
 #pragma once
+
+#include <memory>
 
 #include "consolidate/greedy_consolidator.h"
 #include "sim/search_cluster.h"
@@ -17,6 +26,7 @@
 #include "dvfs/service_model.h"
 #include "power/server_power.h"
 #include "topo/topology.h"
+#include "util/thread_pool.h"
 
 namespace eprons {
 
@@ -37,6 +47,10 @@ struct JointOptimizerConfig {
 
   SlackEstimatorConfig slack;
   ServerPowerPredictorConfig predictor;
+
+  /// Worker threads for the K search (and, for serial searches, the slack
+  /// estimator's shards). Results are independent of this value.
+  RuntimeConfig runtime;
 };
 
 struct JointPlan {
@@ -58,11 +72,16 @@ struct JointPlan {
 
 class JointOptimizer {
  public:
+  /// `consolidator` selects the placement strategy (greedy bin-packing by
+  /// default; inject a MilpConsolidator for exact placement). The pointee
+  /// must outlive the optimizer and be thread-safe (see Consolidator).
   JointOptimizer(const Topology* topo, const ServiceModel* service_model,
                  const ServerPowerModel* power_model,
-                 JointOptimizerConfig config = {});
+                 JointOptimizerConfig config = {},
+                 const Consolidator* consolidator = nullptr);
 
   const JointOptimizerConfig& config() const { return config_; }
+  const Consolidator& consolidator() const { return *consolidator_; }
 
   /// Evaluates one candidate K (used directly by ablation benches).
   JointPlan plan_for_k(const FlowSet& background, double utilization,
@@ -70,14 +89,27 @@ class JointOptimizer {
 
   /// Full K search: minimum predicted total power among feasible plans.
   /// If no K is latency-feasible, returns the plan with the lowest
-  /// predicted tail latency, marked infeasible.
+  /// predicted tail latency, marked infeasible. Candidates are evaluated
+  /// in parallel when config.runtime.threads > 1; the result is
+  /// bit-identical to the serial search.
   JointPlan optimize(const FlowSet& background, double utilization) const;
 
  private:
+  /// `slack_pool` parallelizes the slack estimator's shards;
+  /// `serial_slack` forces shard-serial estimation (used when the K
+  /// candidates themselves already occupy the pool). Neither affects the
+  /// returned plan, only how fast it is computed.
+  JointPlan plan_impl(const FlowSet& background, double utilization,
+                      double k, ThreadPool* slack_pool,
+                      bool serial_slack) const;
+
   const Topology* topo_;
   const ServiceModel* service_model_;
   const ServerPowerModel* power_model_;
   JointOptimizerConfig config_;
+  GreedyConsolidator default_consolidator_;
+  const Consolidator* consolidator_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace eprons

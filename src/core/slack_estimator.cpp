@@ -1,20 +1,29 @@
 #include "core/slack_estimator.h"
 
+#include <memory>
+#include <utility>
+
 #include "stats/percentile.h"
 
 namespace eprons {
+
+namespace {
+
+struct ShardSamples {
+  PercentileEstimator request;
+  PercentileEstimator total;
+};
+
+}  // namespace
 
 SlackEstimate estimate_network_slack(const Graph& graph,
                                      const ConsolidationResult& placement,
                                      const LinkUtilization& offered_load,
                                      const std::vector<FlowId>& request_flows,
                                      const std::vector<FlowId>& reply_flows,
-                                     const SlackEstimatorConfig& config) {
+                                     const SlackEstimatorConfig& config,
+                                     ThreadPool* pool) {
   (void)graph;
-  Rng rng(config.seed);
-  PathLatencyEstimator estimator(&offered_load, config.link_model);
-  PercentileEstimator request_samples;
-  PercentileEstimator total_samples;
 
   auto routed = [&](FlowId id) -> const Path* {
     if (id < 0 ||
@@ -25,20 +34,59 @@ SlackEstimate estimate_network_slack(const Graph& graph,
     return p.size() >= 2 ? &p : nullptr;
   };
 
+  // Routed (request, reply) pairs in flow order; shard s owns every
+  // `shards`-th pair starting at s, so the pair->shard mapping is fixed.
+  std::vector<std::pair<const Path*, const Path*>> pairs;
   for (std::size_t i = 0;
        i < request_flows.size() && i < reply_flows.size(); ++i) {
     const Path* req = routed(request_flows[i]);
     const Path* rep = routed(reply_flows[i]);
-    if (!req || !rep) continue;
-    for (int s = 0; s < config.samples_per_pair; ++s) {
-      const SimTime lreq = estimator.sample_latency(*req, rng);
-      const SimTime lrep = estimator.sample_latency(*rep, rng);
-      request_samples.add(lreq);
-      total_samples.add(lreq + lrep);
-    }
+    if (req && rep) pairs.emplace_back(req, rep);
   }
 
   SlackEstimate out;
+  if (pairs.empty()) return out;
+
+  const std::size_t shards = static_cast<std::size_t>(
+      config.shards < 1 ? 1 : config.shards);
+  // Every shard draws from its own split() stream of the experiment seed;
+  // the streams (and therefore the estimate) are independent of which
+  // worker runs which shard.
+  std::vector<Rng> shard_rng;
+  shard_rng.reserve(shards);
+  Rng base(config.seed);
+  for (std::size_t s = 0; s < shards; ++s) shard_rng.push_back(base.split());
+
+  std::unique_ptr<ThreadPool> local_pool;
+  if (!pool && config.runtime.threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(config.runtime.threads);
+    pool = local_pool.get();
+  }
+
+  std::vector<ShardSamples> shard_samples(shards);
+  parallel_for(pool, shards, [&](std::size_t s) {
+    Rng rng = shard_rng[s];
+    const PathLatencyEstimator estimator(&offered_load, config.link_model);
+    ShardSamples& samples = shard_samples[s];
+    for (std::size_t i = s; i < pairs.size(); i += shards) {
+      const auto& [req, rep] = pairs[i];
+      for (int n = 0; n < config.samples_per_pair; ++n) {
+        const SimTime lreq = estimator.sample_latency(*req, rng);
+        const SimTime lrep = estimator.sample_latency(*rep, rng);
+        samples.request.add(lreq);
+        samples.total.add(lreq + lrep);
+      }
+    }
+  });
+
+  // Merge in shard order — fixed regardless of execution interleaving.
+  PercentileEstimator request_samples;
+  PercentileEstimator total_samples;
+  for (const ShardSamples& samples : shard_samples) {
+    for (double v : samples.request.samples()) request_samples.add(v);
+    for (double v : samples.total.samples()) total_samples.add(v);
+  }
+
   if (request_samples.empty()) return out;
   out.request_mean = request_samples.mean();
   out.request_p95 = request_samples.quantile(0.95);

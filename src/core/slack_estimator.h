@@ -6,6 +6,12 @@
 // sample the consolidated request/reply paths through the link latency
 // model at the placement's offered load, yielding mean/p95 request latency
 // and therefore the slack the server layer can borrow.
+//
+// Sampling is split over `shards` independent streams (each seeded from a
+// per-shard Rng::split() of the config seed) so the work parallelizes
+// without losing reproducibility: the estimate is a pure function of
+// (seed, shards, samples_per_pair) and never of the worker count — the
+// serial path runs the same shards in the same merge order.
 #pragma once
 
 #include <vector>
@@ -13,6 +19,7 @@
 #include "consolidate/consolidation.h"
 #include "net/path_latency.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace eprons {
 
@@ -28,18 +35,27 @@ struct SlackEstimate {
 
 struct SlackEstimatorConfig {
   int samples_per_pair = 400;
+  /// Independent sampling shards; results depend on this (it is part of
+  /// the seeding scheme), NOT on how many workers execute the shards.
+  int shards = 8;
   LinkLatencyModel link_model;
   std::uint64_t seed = 99;
+  RuntimeConfig runtime;
 };
 
 /// Samples latency over every (request, reply) flow-path pair given in
 /// `request_flows` / `reply_flows` (parallel arrays of FlowIds into the
 /// placement). Pairs with unrouted paths are skipped.
+///
+/// When `pool` is non-null the shards run on it; otherwise a pool is
+/// created for the call when config.runtime.threads > 1, else the shards
+/// run serially. All three modes return bit-identical estimates.
 SlackEstimate estimate_network_slack(const Graph& graph,
                                      const ConsolidationResult& placement,
                                      const LinkUtilization& offered_load,
                                      const std::vector<FlowId>& request_flows,
                                      const std::vector<FlowId>& reply_flows,
-                                     const SlackEstimatorConfig& config);
+                                     const SlackEstimatorConfig& config,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace eprons

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <thread>
+
 #include "util/strings.h"
 
 namespace eprons {
@@ -47,6 +49,25 @@ long long Cli::get_int(const std::string& name, long long fallback) const {
   if (it == values_.end()) return fallback;
   long long value = fallback;
   return parse_int(it->second, value) ? value : fallback;
+}
+
+RuntimeConfig runtime_from_cli(const Cli& cli) {
+  RuntimeConfig runtime;
+  if (!cli.has_flag("threads")) return runtime;
+  const long long requested = cli.get_int("threads", 0);
+  if (requested > 0) {
+    runtime.threads = static_cast<int>(requested);
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    runtime.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return runtime;
+}
+
+TableFormat table_format_from_cli(const Cli& cli) {
+  if (cli.has_flag("json")) return TableFormat::kJson;
+  if (cli.has_flag("csv")) return TableFormat::kCsv;
+  return TableFormat::kPretty;
 }
 
 std::vector<std::string> Cli::unused() const {

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "util/table.h"
+#include "util/thread_pool.h"
+
 namespace eprons {
 
 class Cli {
@@ -36,5 +39,12 @@ class Cli {
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };
+
+/// Shared --threads[=N] flag: bare --threads uses the hardware concurrency,
+/// --threads=N pins the worker count. Absent flag = serial (1 thread).
+RuntimeConfig runtime_from_cli(const Cli& cli);
+
+/// Shared output-format flags: --json wins over --csv; neither = pretty.
+TableFormat table_format_from_cli(const Cli& cli);
 
 }  // namespace eprons

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -89,11 +90,71 @@ void Table::print_csv(std::ostream& os) const {
   }
 }
 
+void Table::print_json(std::ostream& os) const {
+  auto escape = [](const std::string& field) {
+    std::string out;
+    out.reserve(field.size() + 2);
+    for (char ch : field) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out;
+  };
+  auto emit_cell = [&](const Cell& cell) {
+    if (std::holds_alternative<std::string>(cell)) {
+      os << '"' << escape(std::get<std::string>(cell)) << '"';
+    } else if (std::holds_alternative<long long>(cell)) {
+      os << std::get<long long>(cell);
+    } else {
+      const double v = std::get<double>(cell);
+      if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+      } else {
+        // JSON has no inf/nan literals; encode as strings.
+        os << '"' << (v > 0 ? "inf" : (v < 0 ? "-inf" : "nan")) << '"';
+      }
+    }
+  };
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? ", " : "") << '"' << escape(columns_[c]) << "\": ";
+      emit_cell(rows_[r][c]);
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 void Table::print(std::ostream& os, bool csv) const {
   if (csv) {
     print_csv(os);
   } else {
     print(os);
+  }
+}
+
+void Table::print(std::ostream& os, TableFormat format) const {
+  switch (format) {
+    case TableFormat::kCsv: print_csv(os); break;
+    case TableFormat::kJson: print_json(os); break;
+    case TableFormat::kPretty: print(os); break;
   }
 }
 

@@ -14,6 +14,9 @@ namespace eprons {
 /// One cell: string, integer, or floating point (printed with precision).
 using Cell = std::variant<std::string, long long, double>;
 
+/// Output encodings shared by every bench/example (--csv, --json flags).
+enum class TableFormat { kPretty, kCsv, kJson };
+
 class Table {
  public:
   explicit Table(std::vector<std::string> columns);
@@ -33,9 +36,15 @@ class Table {
   void print(std::ostream& os) const;
   /// Emits RFC-4180-ish CSV (fields with commas/quotes are quoted).
   void print_csv(std::ostream& os) const;
+  /// Emits a JSON array of one object per row, keyed by column name.
+  /// Numeric cells keep full precision (the perf-trajectory harness
+  /// ingests this; display rounding would lose information).
+  void print_json(std::ostream& os) const;
 
   /// Dispatches on `csv`.
   void print(std::ostream& os, bool csv) const;
+  /// Dispatches on `format`.
+  void print(std::ostream& os, TableFormat format) const;
 
  private:
   std::string render_cell(const Cell& cell) const;

@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace eprons {
+
+ThreadPool::ThreadPool(int threads) : num_threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+namespace {
+
+/// Shared state of one parallel_for batch. Participants (pool workers plus
+/// the calling thread) race on `next` to claim indices; the batch is done
+/// once `done` reaches n. Heap-allocated and shared so stray helper jobs
+/// that wake after the caller returned still touch valid memory.
+struct ForBatch {
+  explicit ForBatch(std::size_t n, const std::function<void(std::size_t)>& f)
+      : total(n), fn(f) {}
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+
+  const std::size_t total;
+  const std::function<void(std::size_t)>& fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!pool || pool->num_threads() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // The batch must outlive every helper job, including helpers that only
+  // wake up after all indices are claimed; shared_ptr keeps it alive.
+  // fn is borrowed by reference: the caller blocks until done == total and
+  // late-waking helpers observe next >= total before ever touching fn.
+  auto batch = std::make_shared<ForBatch>(n, fn);
+  const std::size_t helpers =
+      std::min(static_cast<std::size_t>(pool->num_threads() - 1), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([batch] { batch->drain(); });
+  }
+  batch->drain();  // the caller is a full participant — see nesting note
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->total;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace eprons

@@ -224,6 +224,58 @@ TEST(JointOptimizer, TotalPowerIncludesServersAndNetwork) {
   EXPECT_GT(plan.network_power, 0.0);
 }
 
+TEST(JointOptimizer, ParallelSearchMatchesSerialExactly) {
+  // The tentpole determinism contract: optimize() with runtime.threads=N
+  // must return a plan bit-identical to the serial search, for any seed.
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  for (const std::uint64_t seed : {1ull, 42ull, 99ull}) {
+    Rng rng(seed);
+    const FlowSet background =
+        make_background_flows(FlowGenConfig{}, 6, 0.25, 0.1, rng);
+
+    JointOptimizerConfig serial_config = fast_joint_config();
+    serial_config.slack.seed = seed;
+    const JointOptimizer serial(&topo, &model, &power, serial_config);
+    const JointPlan a = serial.optimize(background, 0.3);
+
+    JointOptimizerConfig parallel_config = serial_config;
+    parallel_config.runtime.threads = 4;
+    const JointOptimizer parallel(&topo, &model, &power, parallel_config);
+    const JointPlan b = parallel.optimize(background, 0.3);
+
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.placement.switch_on, b.placement.switch_on);
+    EXPECT_EQ(a.placement.flow_paths, b.placement.flow_paths);
+    EXPECT_EQ(a.placement.active_switches, b.placement.active_switches);
+    EXPECT_EQ(a.slack.request_p95, b.slack.request_p95);
+    EXPECT_EQ(a.slack.total_p95, b.slack.total_p95);
+    EXPECT_EQ(a.slack.total_p99, b.slack.total_p99);
+    EXPECT_EQ(a.slack.request_mean, b.slack.request_mean);
+    EXPECT_EQ(a.effective_server_budget, b.effective_server_budget);
+    EXPECT_EQ(a.network_power, b.network_power);
+    EXPECT_EQ(a.server.server_power, b.server.server_power);
+    EXPECT_EQ(a.total_power, b.total_power);
+  }
+}
+
+TEST(JointOptimizer, InjectedConsolidatorIsUsed) {
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const GreedyConsolidator greedy;
+  const JointOptimizer optimizer(&topo, &model, &power, fast_joint_config(),
+                                 &greedy);
+  EXPECT_STREQ(optimizer.consolidator().name(), "greedy");
+  Rng rng(5);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.1, 0.0, rng);
+  const JointPlan plan = optimizer.optimize(background, 0.2);
+  EXPECT_GT(plan.placement.active_switches, 0);
+}
+
 TEST(TraceReplay, SchemeNames) {
   EXPECT_STREQ(scheme_name(Scheme::NoPowerManagement), "no-power-management");
   EXPECT_STREQ(scheme_name(Scheme::Eprons), "eprons");

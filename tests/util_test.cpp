@@ -5,10 +5,16 @@
 #include <cmath>
 #include <sstream>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace eprons {
@@ -203,6 +209,99 @@ TEST(Table, IntegerCellsPrintWithoutDecimals) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_NE(os.str().find("42\n"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(&pool, visits.size(),
+               [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool touched = false;
+  parallel_for(&pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, NullPoolRunsSerially) {
+  std::vector<int> order;
+  parallel_for(nullptr, 5,
+               [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [&](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must still be usable after a failed batch.
+  std::atomic<int> count{0};
+  parallel_for(&pool, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, OneThreadMatchesManyThreads) {
+  // The determinism contract: per-index results never depend on the
+  // worker count, only on the index.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(512);
+    parallel_for(&pool, out.size(), [&](std::size_t i) {
+      Rng rng(1000 + i);
+      out[i] = rng.uniform() + rng.exponential(2.0);
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // An inner parallel_for issued from a pool worker must not deadlock:
+  // the caller drains its own batch.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(&pool, 4, [&](std::size_t) {
+    parallel_for(&pool, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Cli, RuntimeFromCliParsesThreadCounts) {
+  const char* pinned[] = {"prog", "--threads=3"};
+  EXPECT_EQ(runtime_from_cli(Cli(2, pinned)).threads, 3);
+  const char* absent[] = {"prog"};
+  EXPECT_EQ(runtime_from_cli(Cli(1, absent)).threads, 1);
+  const char* bare[] = {"prog", "--threads"};
+  EXPECT_GE(runtime_from_cli(Cli(2, bare)).threads, 1);
+}
+
+TEST(Cli, TableFormatFromCliPrefersJson) {
+  const char* both[] = {"prog", "--csv", "--json"};
+  EXPECT_EQ(table_format_from_cli(Cli(3, both)), TableFormat::kJson);
+  const char* csv[] = {"prog", "--csv"};
+  EXPECT_EQ(table_format_from_cli(Cli(2, csv)), TableFormat::kCsv);
+  const char* none[] = {"prog"};
+  EXPECT_EQ(table_format_from_cli(Cli(1, none)), TableFormat::kPretty);
+}
+
+TEST(Table, JsonEmitsOneObjectPerRow) {
+  Table t({"name", "value"});
+  t.add_row({std::string("a\"b"), 1.5});
+  t.add_row({static_cast<long long>(7), 2.0});
+  std::ostringstream os;
+  t.print(os, TableFormat::kJson);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"name\": \"a\\\"b\", \"value\": 1.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\": 7, \"value\": 2}"), std::string::npos);
 }
 
 }  // namespace

@@ -21,7 +21,11 @@ namespace eprons::bench {
 /// workload (50K samples, 256 bins — enough resolution for figure
 /// reproduction at a fraction of the paper's 100K build cost), default
 /// Xeon power calibration. Honors --threads[=N] so any figure bench can
-/// run its planner in parallel without changing results.
+/// run its planner in parallel without changing results, plus the
+/// telemetry flags (--metrics-out=FILE, --trace-out=FILE,
+/// --epoch-log=FILE, --log-level=LEVEL) — ScenarioBuilder::build()
+/// forwards them to obs::configure_telemetry, so every bench exports
+/// planner metrics / Chrome traces with no per-bench wiring.
 inline Scenario make_scenario(const Cli& cli, std::uint64_t seed = 1) {
   SyntheticWorkloadConfig workload;
   workload.samples = 50000;

@@ -59,6 +59,28 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
 
+    // EPRONS joint optimizer: per constraint, search K (subnet + server
+    // budget split) for the minimum *predicted* total power. This is the
+    // planner's answer to the same question the fixed-aggregation rows
+    // answer by simulation — and the row that exercises consolidation,
+    // slack estimation, and K-candidate spans for --trace-out.
+    {
+      std::vector<Cell> row{std::string("joint optimizer")};
+      for (double c : constraints) {
+        JointOptimizerConfig joint;
+        joint.latency_constraint = ms(c);
+        joint.server_budget = ms(c - 5.0);
+        const JointPlan plan =
+            scn.optimizer(joint).optimize(background, 0.3);
+        if (!plan.feasible) {
+          row.push_back(std::string("-"));  // no K meets this constraint
+        } else {
+          row.push_back(plan.total_power);
+        }
+      }
+      table.add_row(std::move(row));
+    }
+
     for (int level = 0; level <= 3; ++level) {
       std::vector<Cell> row{strformat("aggregation %d", level)};
       const auto subnet = policies.policy(level).switch_on;

@@ -15,6 +15,7 @@
 
 #include "consolidate/greedy_consolidator.h"
 #include "consolidate/milp_consolidator.h"
+#include "obs/telemetry.h"
 #include "topo/fattree.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -46,6 +47,8 @@ FlowSet fig2_flows() {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  // No Scenario here, so apply the telemetry/log flags directly.
+  obs::configure_telemetry(runtime_from_cli(cli));
   const int k = static_cast<int>(cli.get_int("k", 4));
   const int kmax = static_cast<int>(cli.get_int("kmax", 3));
   const bool exact = cli.has_flag("exact") || cli.has_flag("fig2");

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       ScenarioBuilder()
           .seed(static_cast<std::uint64_t>(cli.get_int("seed", 1)))
           .fat_tree(4)
+          .runtime(runtime_from_cli(cli))
           .build();
   Rng rng(scn.seed());
   const FlowSet background =

@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/telemetry.h"
+
 namespace eprons {
 
 GreedyConsolidator::GreedyConsolidator(const Topology* topo,
@@ -18,6 +20,16 @@ ConsolidationResult GreedyConsolidator::consolidate(
 ConsolidationResult GreedyConsolidator::consolidate(
     const Topology& topo, const FlowSet& flows,
     const ConsolidationConfig& config) const {
+  const obs::ScopedSpan span(obs::tracer(), "consolidate_greedy", "planner",
+                             "k", config.scale_factor_k);
+  static obs::Counter& calls =
+      obs::metrics().counter("consolidate.greedy_calls");
+  static obs::Counter& flows_placed =
+      obs::metrics().counter("consolidate.flows_placed");
+  static obs::Counter& overflows =
+      obs::metrics().counter("consolidate.overflows");
+  calls.add();
+
   const Graph& graph = topo.graph();
   // Tracked per call; a relaxed flag is enough for the diagnostic getter
   // and keeps concurrent consolidate() calls race-free.
@@ -78,6 +90,7 @@ ConsolidationResult GreedyConsolidator::consolidate(
       result.feasible = false;
       if (!options_.best_effort_overflow) {
         result.flow_paths.assign(flows.size(), {});
+        overflows.add();
         return result;
       }
       continue;
@@ -126,6 +139,7 @@ ConsolidationResult GreedyConsolidator::consolidate(
       if (!options_.best_effort_overflow) {
         result.feasible = false;
         result.flow_paths.assign(flows.size(), {});
+        overflows.add();
         last_overloaded_.store(overloaded, std::memory_order_relaxed);
         return result;
       }
@@ -152,8 +166,10 @@ ConsolidationResult GreedyConsolidator::consolidate(
     }
     result.flow_paths[fi] = chosen;
     activate_path(graph, chosen, result);
+    flows_placed.add();
   }
 
+  if (overloaded) overflows.add();
   last_overloaded_.store(overloaded, std::memory_order_relaxed);
   result.feasible = !overloaded;
   if (options_.best_effort_overflow && overloaded) {

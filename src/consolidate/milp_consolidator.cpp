@@ -1,8 +1,11 @@
 #include "consolidate/milp_consolidator.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "util/strings.h"
 
 namespace eprons {
@@ -19,6 +22,14 @@ ConsolidationResult MilpConsolidator::consolidate(
 ConsolidationResult MilpConsolidator::consolidate(
     const Topology& topo, const FlowSet& flows,
     const ConsolidationConfig& config) const {
+  const obs::ScopedSpan span(obs::tracer(), "consolidate_milp", "planner",
+                             "k", config.scale_factor_k);
+  static obs::Counter& calls =
+      obs::metrics().counter("consolidate.milp_calls");
+  static obs::Counter& nodes =
+      obs::metrics().counter("consolidate.milp_nodes");
+  calls.add();
+
   const Graph& graph = topo.graph();
   ConsolidationResult result;
   result.switch_on.assign(graph.num_nodes(), false);
@@ -124,6 +135,8 @@ ConsolidationResult MilpConsolidator::consolidate(
   lp::MilpSolver solver(options_.milp);
   const lp::Solution sol = solver.solve(model);
   last_nodes_.store(solver.last_node_count(), std::memory_order_relaxed);
+  nodes.add(static_cast<std::uint64_t>(
+      std::max<long long>(0, solver.last_node_count())));
   if (!sol.ok()) {
     result.feasible = false;
     return result;

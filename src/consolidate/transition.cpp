@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
+#include "util/log.h"
+
 namespace eprons {
 
 TransitionStats plan_transition(const Graph& graph,
@@ -40,9 +43,14 @@ TransitionController::TransitionController(const Graph* graph,
 
 const std::vector<bool>& TransitionController::step(
     const std::vector<bool>& wanted_on) {
+  static obs::Counter& boot_count =
+      obs::metrics().counter("transition.boots");
+  static obs::Counter& linger_count =
+      obs::metrics().counter("transition.linger_switch_epochs");
   ++epochs_;
   std::vector<bool> next = actual_on_;
   int boots = 0;
+  int lingering = 0;
   for (const Node& n : graph_->nodes()) {
     const auto i = static_cast<std::size_t>(n.id);
     if (!is_switch_type(n.type)) {
@@ -58,14 +66,30 @@ const std::vector<bool>& TransitionController::step(
       // Linger: stay on as a backup path for `linger_epochs` epochs.
       if (++unused_epochs_[i] > config_.linger_epochs) {
         next[i] = false;
+        EPRONS_LOG(Debug) << "transition: epoch " << epochs_
+                          << " powering off " << n.name << " after "
+                          << config_.linger_epochs << " idle linger epochs";
       } else {
         lingering_energy_ += config_.epoch_length * config_.switch_power;
+        ++lingering;
+        EPRONS_LOG(Debug) << "transition: epoch " << epochs_ << " keeping "
+                          << n.name << " lingering as a backup path ("
+                          << unused_epochs_[i] << "/"
+                          << config_.linger_epochs << " idle epochs)";
       }
     }
   }
   if (boots > 0) {
     boot_energy_ += config_.power_on_time * boots * config_.boot_power;
     total_boots_ += boots;
+    boot_count.add(static_cast<std::uint64_t>(boots));
+    EPRONS_LOG(Debug) << "transition: epoch " << epochs_ << " booting "
+                      << boots << " switches ("
+                      << config_.power_on_time * boots * config_.boot_power
+                      << " J boot energy)";
+  }
+  if (lingering > 0) {
+    linger_count.add(static_cast<std::uint64_t>(lingering));
   }
   first_epoch_ = false;
   actual_on_ = std::move(next);

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "obs/telemetry.h"
 #include "topo/aggregation.h"
+#include "util/log.h"
 
 namespace eprons {
 
@@ -27,6 +29,14 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
                                        double utilization, Rng& rng) {
   EpochReport report;
   report.epoch = epoch_++;
+  const obs::ScopedSpan span(obs::tracer(), "epoch", "control", "epoch",
+                             static_cast<double>(report.epoch));
+  static obs::Counter& epochs_run = obs::metrics().counter("epoch.runs");
+  static obs::Counter& infeasible_epochs =
+      obs::metrics().counter("epoch.infeasible");
+  static obs::Histogram& ratio_pct =
+      obs::metrics().histogram("epoch.prediction_ratio_pct");
+  epochs_run.add();
 
   // (i) Measure: noisy rate observations -> 90th percentile prediction.
   FlowSet predicted;
@@ -45,6 +55,11 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
       true_background.empty()
           ? 0.0
           : ratio_sum / static_cast<double>(true_background.size());
+  ratio_pct.observe(report.prediction_ratio * 100.0);
+  EPRONS_LOG(Info) << "epoch " << report.epoch
+                   << ": demand predictor conservatism ratio "
+                   << report.prediction_ratio << " over "
+                   << true_background.size() << " flows";
 
   // (ii) Optimize on the predicted demands.
   const JointPlan plan = optimizer_->optimize(predicted, utilization);
@@ -52,6 +67,10 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
   report.feasible = plan.feasible;
   report.predicted_total = plan.total_power;
   report.wanted_switches = plan.placement.active_switches;
+  report.slack_total_p95 = plan.slack.total_p95;
+  report.slack_total_p99 = plan.slack.total_p99;
+  report.server_budget = plan.effective_server_budget;
+  if (!plan.feasible) infeasible_epochs.add();
 
   // (iii) Reconfigure through the transition controller.
   const std::vector<bool>& previous = transitions_.current_mask();
@@ -63,6 +82,24 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
   report.actual_switches = count_active_switches(topo_->graph(), actual);
   report.network_power =
       report.actual_switches * config_.joint.consolidation.switch_power;
+
+  obs::EpochRecord record;
+  record.source = "epoch_controller";
+  record.epoch = report.epoch;
+  record.chosen_k = report.chosen_k;
+  record.feasible = report.feasible;
+  record.wanted_switches = report.wanted_switches;
+  record.actual_switches = report.actual_switches;
+  record.predicted_total_w = report.predicted_total;
+  record.realized_network_w = report.network_power;
+  record.prediction_ratio = report.prediction_ratio;
+  record.slack_total_p95_us = report.slack_total_p95;
+  record.slack_total_p99_us = report.slack_total_p99;
+  record.server_budget_us = report.server_budget;
+  record.utilization = utilization;
+  obs::JsonlWriter* sink =
+      config_.epoch_log ? config_.epoch_log : obs::epoch_log();
+  if (sink) sink->write(record);
   return report;
 }
 

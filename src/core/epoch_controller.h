@@ -15,6 +15,7 @@
 #include "consolidate/transition.h"
 #include "core/joint_optimizer.h"
 #include "flow/demand_predictor.h"
+#include "obs/jsonl.h"
 
 namespace eprons {
 
@@ -31,6 +32,10 @@ struct EpochControllerConfig {
   /// `joint.runtime` when set to more than one thread. Epoch results are
   /// independent of this value.
   RuntimeConfig runtime;
+  /// Per-epoch JSONL sink. When null, records go to the process-wide
+  /// `obs::epoch_log()` sink if `--epoch-log` configured one (and are
+  /// dropped otherwise).
+  obs::JsonlWriter* epoch_log = nullptr;
 };
 
 struct EpochReport {
@@ -46,6 +51,11 @@ struct EpochReport {
   /// Mean ratio of predicted to true demand across flows (prediction
   /// conservatism; ~1.1-1.4 with a 90th-percentile predictor).
   double prediction_ratio = 0.0;
+  /// Slack estimator round-trip tails for the chosen plan, us.
+  SimTime slack_total_p95 = 0.0;
+  SimTime slack_total_p99 = 0.0;
+  /// Latency budget handed to the DVFS layer after network slack, us.
+  SimTime server_budget = 0.0;
 };
 
 class EpochController {

@@ -4,7 +4,40 @@
 #include <limits>
 #include <vector>
 
+#include "obs/telemetry.h"
+#include "util/log.h"
+
 namespace eprons {
+
+namespace {
+
+// K-search telemetry (see DESIGN.md "Observability"). All counters and
+// histograms record logical quantities only, so snapshots are bit-identical
+// for any --threads value.
+struct PlannerMetrics {
+  obs::Counter& candidates = obs::metrics().counter("planner.k_candidates");
+  obs::Counter& feasible = obs::metrics().counter("planner.k_feasible");
+  obs::Counter& infeasible_placement =
+      obs::metrics().counter("planner.k_infeasible_placement");
+  obs::Counter& infeasible_budget =
+      obs::metrics().counter("planner.k_infeasible_budget");
+  obs::Counter& searches = obs::metrics().counter("planner.searches");
+  obs::Counter& searches_infeasible =
+      obs::metrics().counter("planner.searches_infeasible");
+  obs::Gauge& chosen_k = obs::metrics().gauge("planner.chosen_k");
+  obs::Gauge& chosen_total_w = obs::metrics().gauge("planner.chosen_total_w");
+  obs::Histogram& slack_p95 =
+      obs::metrics().histogram("planner.slack_total_p95_us");
+  obs::Histogram& plan_total_w =
+      obs::metrics().histogram("planner.plan_total_w");
+
+  static PlannerMetrics& get() {
+    static PlannerMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 JointOptimizer::JointOptimizer(const Topology* topo,
                                const ServiceModel* service_model,
@@ -31,6 +64,10 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
                                     double utilization, double k,
                                     ThreadPool* slack_pool,
                                     bool serial_slack) const {
+  const obs::ScopedSpan span(obs::tracer(), "plan_k", "planner", "k", k);
+  PlannerMetrics& pm = PlannerMetrics::get();
+  pm.candidates.add();
+
   JointPlan plan;
   plan.k = k;
 
@@ -76,6 +113,8 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
                                       plan.request_flow, plan.reply_flow,
                                       slack_config, slack_pool);
 
+  pm.slack_p95.observe(plan.slack.total_p95);
+
   // Server budget: the SLA minus what the network actually needs at its
   // 95th percentile round trip.
   plan.effective_server_budget =
@@ -84,20 +123,47 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
     plan.feasible = false;
     plan.total_power = plan.network_power +
                        hosts * power_model_->peak_power();
+    pm.infeasible_budget.add();
+    EPRONS_LOG(Debug) << "K=" << k << " rejected: network p95 "
+                      << plan.slack.total_p95 << " us consumes the whole "
+                      << config_.latency_constraint << " us SLA";
     return plan;
   }
 
-  const ServerPowerPredictor predictor(service_model_, power_model_,
-                                       config_.predictor);
-  plan.server = predictor.predict(utilization, plan.effective_server_budget);
+  {
+    const obs::ScopedSpan predict_span(obs::tracer(), "server_power_predict",
+                                       "planner", "k", k);
+    const ServerPowerPredictor predictor(service_model_, power_model_,
+                                         config_.predictor);
+    plan.server = predictor.predict(utilization, plan.effective_server_budget);
+  }
   plan.feasible = placement_ok && !plan.server.budget_infeasible;
   plan.total_power =
       plan.network_power + hosts * plan.server.server_power;
+  pm.plan_total_w.observe(plan.total_power);
+  if (plan.feasible) {
+    pm.feasible.add();
+  } else if (!placement_ok) {
+    pm.infeasible_placement.add();
+    EPRONS_LOG(Debug) << "K=" << k
+                      << " rejected: consolidation violated the safety "
+                         "margin or disconnected a pair";
+  } else {
+    pm.infeasible_budget.add();
+    EPRONS_LOG(Debug) << "K=" << k << " rejected: server budget "
+                      << plan.effective_server_budget
+                      << " us unreachable even at f_max";
+  }
   return plan;
 }
 
 JointPlan JointOptimizer::optimize(const FlowSet& background,
                                    double utilization) const {
+  const obs::ScopedSpan span(obs::tracer(), "k_search", "planner",
+                             "utilization", utilization);
+  PlannerMetrics& pm = PlannerMetrics::get();
+  pm.searches.add();
+
   std::vector<double> candidates;
   for (double k = config_.k_min; k <= config_.k_max + 1e-9;
        k += config_.k_step) {
@@ -134,9 +200,28 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
       fallback = std::move(plan);
     }
   }
-  if (have_best) return best;
+  // Telemetry for the serial reduction: gauges are only ever set here (in
+  // program order), so they are deterministic for any worker count.
+  if (have_best) {
+    pm.chosen_k.set(best.k);
+    pm.chosen_total_w.set(best.total_power);
+    EPRONS_LOG(Info) << "k-search: chose K=" << best.k << " ("
+                     << best.placement.active_switches << " switches, "
+                     << best.total_power << " W predicted total, server "
+                        "budget "
+                     << best.effective_server_budget << " us) among "
+                     << candidates.size() << " candidates";
+    return best;
+  }
   // Nothing met the SLA: surface the least-bad network (largest K that
   // still placed flows), marked infeasible so callers can alarm.
+  pm.searches_infeasible.add();
+  pm.chosen_k.set(fallback.k);
+  pm.chosen_total_w.set(fallback.total_power);
+  EPRONS_LOG(Info) << "k-search: no feasible K in [" << config_.k_min << ", "
+                   << config_.k_max << "]; falling back to K=" << fallback.k
+                   << " (network p95 " << fallback.slack.total_p95
+                   << " us, marked infeasible)";
   return fallback;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace eprons {
 
 FlowGenConfig Scenario::flow_gen(int aggregator_host) const {
@@ -45,6 +47,10 @@ ScenarioResult Scenario::run(const FlowSet& background,
 }
 
 Scenario ScenarioBuilder::build() const {
+  // Telemetry sinks ride on RuntimeConfig, so every bench/example that
+  // passes runtime_from_cli(cli) through the builder gets --metrics-out /
+  // --trace-out / --epoch-log / --log-level support with no further wiring.
+  obs::configure_telemetry(runtime_);
   Scenario scenario;
   if (leaf_spine_) {
     scenario.topo_ =

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "stats/percentile.h"
 
 namespace eprons {
@@ -24,6 +25,11 @@ SlackEstimate estimate_network_slack(const Graph& graph,
                                      const SlackEstimatorConfig& config,
                                      ThreadPool* pool) {
   (void)graph;
+  const obs::ScopedSpan span(obs::tracer(), "slack_estimate", "planner");
+  static obs::Counter& estimate_calls =
+      obs::metrics().counter("slack.estimates");
+  static obs::Counter& sample_count = obs::metrics().counter("slack.samples");
+  estimate_calls.add();
 
   auto routed = [&](FlowId id) -> const Path* {
     if (id < 0 ||
@@ -65,6 +71,8 @@ SlackEstimate estimate_network_slack(const Graph& graph,
 
   std::vector<ShardSamples> shard_samples(shards);
   parallel_for(pool, shards, [&](std::size_t s) {
+    const obs::ScopedSpan shard_span(obs::tracer(), "slack_shard", "planner",
+                                     "shard", static_cast<double>(s));
     Rng rng = shard_rng[s];
     const PathLatencyEstimator estimator(&offered_load, config.link_model);
     ShardSamples& samples = shard_samples[s];
@@ -77,6 +85,7 @@ SlackEstimate estimate_network_slack(const Graph& graph,
         samples.total.add(lreq + lrep);
       }
     }
+    sample_count.add(static_cast<std::uint64_t>(samples.total.samples().size()));
   });
 
   // Merge in shard order — fixed regardless of execution interleaving.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.h"
 #include "topo/aggregation.h"
 
 namespace eprons {
@@ -38,6 +39,10 @@ FlowSet TraceReplay::background_at(double background_util, Rng& rng) const {
 
 CalibrationPoint TraceReplay::calibrate_point(Scheme scheme,
                                               double shape) const {
+  // scheme_name() returns string literals, satisfying the tracer's static-
+  // lifetime requirement.
+  const obs::ScopedSpan span(obs::tracer(), scheme_name(scheme), "calibrate",
+                             "shape", shape);
   CalibrationPoint point;
   point.shape = shape;
   const auto& tc = config_.trace;
@@ -80,6 +85,11 @@ CalibrationPoint TraceReplay::calibrate_point(Scheme scheme,
       const JointPlan plan =
           optimizer.optimize(background, point.utilization);
       point.chosen_k = plan.k;
+      point.plan_feasible = plan.feasible;
+      point.predicted_total = plan.total_power;
+      point.slack_total_p95 = plan.slack.total_p95;
+      point.slack_total_p99 = plan.slack.total_p99;
+      point.server_budget = plan.effective_server_budget;
       scenario.cluster.policy = "eprons";
       if (plan.feasible) {
         // Give the servers the budget the optimizer measured as available
@@ -142,10 +152,32 @@ double nearest(const std::vector<CalibrationPoint>& points, double shape,
 }  // namespace
 
 ReplayResult TraceReplay::replay(Scheme scheme) const {
+  const obs::ScopedSpan span(obs::tracer(), "replay", "replay");
   ReplayResult result;
   result.scheme = scheme;
   for (double shape : config_.calibration_shapes) {
     result.calibration.push_back(calibrate_point(scheme, shape));
+  }
+  if (obs::JsonlWriter* sink = obs::epoch_log()) {
+    // One record per calibration point, in shape order: lets the same JSONL
+    // pipeline that consumes control-loop epochs consume Fig. 15 runs.
+    for (std::size_t i = 0; i < result.calibration.size(); ++i) {
+      const CalibrationPoint& p = result.calibration[i];
+      obs::EpochRecord record;
+      record.source = "trace_replay";
+      record.epoch = static_cast<int>(i);
+      record.chosen_k = p.chosen_k;
+      record.feasible = p.plan_feasible;
+      record.wanted_switches = p.active_switches;
+      record.actual_switches = p.active_switches;
+      record.predicted_total_w = p.predicted_total;
+      record.realized_network_w = p.network_power;
+      record.slack_total_p95_us = p.slack_total_p95;
+      record.slack_total_p99_us = p.slack_total_p99;
+      record.server_budget_us = p.server_budget;
+      record.utilization = p.utilization;
+      sink->write(record);
+    }
   }
 
   const std::vector<TracePoint> trace = make_diurnal_trace(config_.trace);

@@ -55,6 +55,12 @@ struct CalibrationPoint {
   int active_switches = 0;
   double subquery_miss_rate = 0.0;
   double chosen_k = 1.0;  // EPRONS only
+  // EPRONS-only planner details (telemetry; defaults for the baselines).
+  bool plan_feasible = true;
+  Power predicted_total = 0.0;
+  SimTime slack_total_p95 = 0.0;
+  SimTime slack_total_p99 = 0.0;
+  SimTime server_budget = 0.0;
 };
 
 struct MinutePower {

@@ -1,0 +1,41 @@
+#include "obs/jsonl.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace eprons::obs {
+
+std::string to_jsonl(const EpochRecord& r) {
+  std::string out = "{";
+  out += "\"source\": \"" + json_escape(r.source) + "\"";
+  out += ", \"epoch\": " + std::to_string(r.epoch);
+  out += ", \"chosen_k\": " + json_number(r.chosen_k);
+  out += std::string(", \"feasible\": ") + (r.feasible ? "true" : "false");
+  out += ", \"wanted_switches\": " + std::to_string(r.wanted_switches);
+  out += ", \"actual_switches\": " + std::to_string(r.actual_switches);
+  out += ", \"predicted_total_w\": " + json_number(r.predicted_total_w);
+  out += ", \"realized_network_w\": " + json_number(r.realized_network_w);
+  out += ", \"prediction_ratio\": " + json_number(r.prediction_ratio);
+  out += ", \"slack_total_p95_us\": " + json_number(r.slack_total_p95_us);
+  out += ", \"slack_total_p99_us\": " + json_number(r.slack_total_p99_us);
+  out += ", \"server_budget_us\": " + json_number(r.server_budget_us);
+  out += ", \"utilization\": " + json_number(r.utilization);
+  out += "}\n";
+  return out;
+}
+
+void JsonlWriter::write(const EpochRecord& record) {
+  const std::string line = to_jsonl(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*os_) << line;
+  os_->flush();  // streaming: each epoch is visible as soon as it happens
+  ++records_;
+}
+
+std::size_t JsonlWriter::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace eprons::obs

@@ -1,0 +1,60 @@
+// Per-epoch JSONL export for the Fig. 7 control loop.
+//
+// One JSON object per line, one line per planner epoch — the format every
+// log-ingestion pipeline (jq, pandas.read_json(lines=True), Vector, ...)
+// consumes directly. EpochController streams a record per control epoch;
+// TraceReplay streams one per DES calibration point. Records carry the
+// quantities the paper's evaluation reasons about: chosen K, feasibility,
+// switches wanted vs. actually powered, predicted vs. realized power, the
+// demand predictor's conservatism ratio, and the slack estimator's tails.
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace eprons::obs {
+
+struct EpochRecord {
+  /// Producer tag: "epoch_controller" | "trace_replay".
+  const char* source = "epoch_controller";
+  int epoch = 0;
+  double chosen_k = 0.0;
+  bool feasible = false;
+  int wanted_switches = 0;
+  int actual_switches = 0;
+  /// Optimizer's predicted total power vs. the power actually drawn by the
+  /// realized subnet (watts).
+  double predicted_total_w = 0.0;
+  double realized_network_w = 0.0;
+  /// Mean predicted/true demand ratio (demand predictor conservatism).
+  double prediction_ratio = 0.0;
+  /// Slack estimator round-trip tails for the chosen plan, us.
+  double slack_total_p95_us = 0.0;
+  double slack_total_p99_us = 0.0;
+  /// Server budget handed to the DVFS layer, us.
+  double server_budget_us = 0.0;
+  /// Operating point.
+  double utilization = 0.0;
+};
+
+/// Serializes `record` as a single JSON object line (no trailing spaces,
+/// '\n'-terminated). Field order is fixed, output is deterministic.
+std::string to_jsonl(const EpochRecord& record);
+
+/// Streams records to an ostream, one line each. Thread-safe at the line
+/// level; the stream is borrowed and must outlive the writer.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream* os) : os_(os) {}
+
+  void write(const EpochRecord& record);
+  std::size_t records_written() const;
+
+ private:
+  std::ostream* os_;
+  mutable std::mutex mutex_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace eprons::obs

@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace eprons::obs {
+
+std::size_t metric_shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+std::uint64_t Counter::value() const {
+  // Merge in fixed shard order; u64 addition is exact and commutative, so
+  // the result is independent of which thread incremented which shard.
+  std::uint64_t total = 0;
+  for (const Cell& cell : shards_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Cell& cell : shards_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Lock-free monotone update of an atomic double (min or max).
+template <typename Better>
+void atomic_extreme(std::atomic<double>& slot, double v, Better better) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(v, current) &&
+         !slot.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives, NaN, and [0, 1) land in bucket 0
+  const int exp = std::ilogb(v);  // floor(log2(v)) for finite v >= 1
+  const std::size_t b = static_cast<std::size_t>(exp) + 1;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+double Histogram::bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+double Histogram::bucket_upper(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b));
+}
+
+void Histogram::observe(double v) {
+  Shard& shard = shards_[metric_shard_index()];
+  shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_extreme(shard.min, v, [](double a, double b) { return a < b; });
+  atomic_extreme(shard.max, v, [](double a, double b) { return a > b; });
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.min = std::min(out.min, shard.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile, 1-based; ceil so quantile(1.0) is the last.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Clamp to the observed range so single-valued histograms report the
+      // value itself rather than a bucket edge.
+      return std::min(std::max(Histogram::bucket_upper(b), min), max);
+    }
+  }
+  return max;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
+       << "\"count\": " << hist.count;
+    if (hist.count > 0) {
+      os << ", \"min\": " << json_number(hist.min)
+         << ", \"max\": " << json_number(hist.max)
+         << ", \"p50\": " << json_number(hist.quantile(0.50))
+         << ", \"p95\": " << json_number(hist.quantile(0.95))
+         << ", \"p99\": " << json_number(hist.quantile(0.99))
+         << ", \"buckets\": [";
+      bool first_bucket = true;
+      for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (hist.buckets[b] == 0) continue;
+        os << (first_bucket ? "" : ", ") << "["
+           << json_number(Histogram::bucket_lower(b)) << ", "
+           << hist.buckets[b] << "]";
+        first_bucket = false;
+      }
+      os << "]";
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+namespace {
+
+template <typename Map, typename MapB, typename MapC>
+auto& find_or_create(Map& map, const MapB& other1, const MapC& other2,
+                     std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    assert(other1.find(name) == other1.end() &&
+           other2.find(name) == other2.end() &&
+           "metric name already used for a different kind");
+    (void)other1;
+    (void)other2;
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, gauges_, histograms_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, counters_, histograms_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, counters_, gauges_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->snapshot();
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+}  // namespace eprons::obs

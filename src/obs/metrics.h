@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges, and fixed-log-bucket
+// histograms for the planner and simulator.
+//
+// Design constraints, in order:
+//   1. Stay off the parallel K-search hot path: updates are wait-free
+//      relaxed atomics on thread-sharded cells (no lock, no false sharing
+//      on counters), so instrumenting plan_for_k costs nanoseconds.
+//   2. Determinism: a snapshot must be bit-identical for any worker count.
+//      Shards are merged in fixed shard order, and every merge is an exact
+//      commutative-associative operation — u64 sums, u64 bucket counts,
+//      double min/max — never a floating-point sum (whose value would
+//      depend on which shard sampled what). Corollary: metrics record
+//      *logical* quantities (counts, chosen K, slack values); *temporal*
+//      quantities (durations) belong to the span tracer (obs/trace.h).
+//   3. Cheap name lookup: registration takes a mutex, so call sites cache
+//      the returned reference (`static Counter& c = ...counter("x");`);
+//      references stay valid for the registry's lifetime.
+//
+// Naming scheme: dot-separated `<subsystem>.<quantity>[_<unit>]`, e.g.
+// `planner.k_candidates`, `slack.samples`, `sim.subqueries`. See DESIGN.md
+// "Observability".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eprons::obs {
+
+/// Fixed shard count. Threads map onto shards by a process-wide sequential
+/// thread id (mod kMetricShards); several threads may share a shard (the
+/// cells are atomic), but the merged value never depends on the mapping.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Process-wide sequential id of the calling thread, assigned on first use.
+std::size_t metric_shard_index();
+
+/// Monotonic u64 counter. add() is wait-free; value() merges shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[metric_shard_index()].value.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kMetricShards> shards_;
+};
+
+/// Last-write-wins double. Deterministic only when set from serial code
+/// (e.g. the K-search reduction, the epoch loop) — never set a gauge from
+/// inside a parallel_for body.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot;
+
+/// Fixed-log-bucket histogram of non-negative doubles. Bucket b counts
+/// values in [2^(b-1), 2^b), bucket 0 everything below 1.0; 64 buckets
+/// cover any magnitude the planner produces. Per-value cost: one relaxed
+/// fetch_add plus two CAS-free min/max updates on the caller's shard.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Bucket that `v` falls into.
+  static std::size_t bucket_index(double v);
+  /// Inclusive lower bound of bucket `b` (0.0 for bucket 0).
+  static double bucket_lower(std::size_t b);
+  /// Exclusive upper bound of bucket `b`.
+  static double bucket_upper(std::size_t b);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Upper bound of the bucket holding the q-quantile (0 when empty).
+  /// Computed from bucket counts only, so it is exactly reproducible.
+  double quantile(double q) const;
+};
+
+/// Deterministic, name-sorted view of a registry (std::map orders keys).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}. Byte-identical for identical snapshots.
+  void write_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the metric with this name, creating it on first use. The
+  /// reference stays valid for the registry's lifetime; cache it at the
+  /// call site. A name identifies one metric kind — asking for a counter
+  /// named like an existing gauge is a programming error (asserted).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes all values; registered metrics (and cached references) stay.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace eprons::obs

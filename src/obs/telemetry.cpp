@@ -1,0 +1,102 @@
+#include "obs/telemetry.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "util/log.h"
+
+namespace eprons::obs {
+
+namespace {
+
+// Intentionally leaked so the atexit flush (and worker threads that might
+// record during static destruction) never race tear-down.
+struct TelemetryState {
+  std::mutex mutex;
+  std::string metrics_path;
+  std::string trace_path;
+  std::unique_ptr<std::ofstream> epoch_stream;
+  std::unique_ptr<JsonlWriter> epoch_writer;
+  bool atexit_registered = false;
+};
+
+TelemetryState& state() {
+  static TelemetryState* s = new TelemetryState;
+  return *s;
+}
+
+}  // namespace
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+Tracer& tracer() {
+  static Tracer* t = new Tracer;
+  return *t;
+}
+
+JsonlWriter* epoch_log() {
+  TelemetryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.epoch_writer.get();
+}
+
+void configure_telemetry(const RuntimeConfig& runtime) {
+  if (!runtime.log_level.empty()) {
+    LogLevel level;
+    if (parse_log_level(runtime.log_level, level)) {
+      set_log_threshold(level);
+    }
+  }
+
+  TelemetryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.metrics_path.empty()) s.metrics_path = runtime.metrics_out;
+  if (s.trace_path.empty()) s.trace_path = runtime.trace_out;
+  if (!s.trace_path.empty()) tracer().set_enabled(true);
+  if (!s.epoch_writer && !runtime.epoch_log_out.empty()) {
+    auto stream = std::make_unique<std::ofstream>(runtime.epoch_log_out);
+    if (stream->good()) {
+      s.epoch_stream = std::move(stream);
+      s.epoch_writer = std::make_unique<JsonlWriter>(s.epoch_stream.get());
+    } else {
+      EPRONS_LOG(Error) << "cannot open --epoch-log file '"
+                        << runtime.epoch_log_out << "'";
+    }
+  }
+  const bool any_sink = !s.metrics_path.empty() || !s.trace_path.empty() ||
+                        s.epoch_writer != nullptr;
+  if (any_sink && !s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit(flush_telemetry);
+  }
+}
+
+void flush_telemetry() {
+  TelemetryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.metrics_path.empty()) {
+    std::ofstream out(s.metrics_path);
+    if (out.good()) {
+      metrics().snapshot().write_json(out);
+    } else {
+      EPRONS_LOG(Error) << "cannot open --metrics-out file '"
+                        << s.metrics_path << "'";
+    }
+  }
+  if (!s.trace_path.empty()) {
+    std::ofstream out(s.trace_path);
+    if (out.good()) {
+      tracer().write_json(out);
+    } else {
+      EPRONS_LOG(Error) << "cannot open --trace-out file '" << s.trace_path
+                        << "'";
+    }
+  }
+  if (s.epoch_stream) s.epoch_stream->flush();
+}
+
+}  // namespace eprons::obs

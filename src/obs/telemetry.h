@@ -1,0 +1,49 @@
+// Process-wide telemetry context: one metrics registry, one span tracer,
+// one optional per-epoch JSONL sink.
+//
+// Instrumented components (joint optimizer, slack estimator, consolidators,
+// epoch controller, DES cluster) record into these globals so telemetry
+// needs no pointer plumbing through planner configs. What *is* plumbed is
+// the configuration: RuntimeConfig carries the sink paths (parsed from
+// --metrics-out / --trace-out / --epoch-log / --log-level by
+// runtime_from_cli), and ScenarioBuilder::build() calls
+// configure_telemetry(), so every bench and example built on a Scenario
+// gets telemetry for free. Outputs are flushed by an atexit hook (or
+// explicitly via flush_telemetry()).
+//
+// Overhead: with no sinks configured, counters still count (wait-free
+// relaxed adds — nanoseconds on the K-search hot path) and spans are inert
+// single-load no-ops, so the planner's perf is within noise of an
+// uninstrumented build (bench_micro_parallel_planner measures this).
+#pragma once
+
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace eprons::obs {
+
+/// The process-wide registry / tracer. Created on first use, never
+/// destroyed before atexit flushing.
+MetricsRegistry& metrics();
+Tracer& tracer();
+
+/// The configured per-epoch JSONL sink, or nullptr when none. Components
+/// with their own JsonlWriter override (EpochControllerConfig::epoch_log)
+/// ignore this.
+JsonlWriter* epoch_log();
+
+/// Applies the telemetry fields of `runtime`: opens --metrics-out /
+/// --trace-out / --epoch-log files, enables the tracer when a trace sink
+/// exists, applies --log-level, and registers the atexit flush. Later
+/// calls add sinks that were previously empty; they never close or
+/// redirect an already-configured sink (so a bench constructing several
+/// Scenarios from one Cli configures once).
+void configure_telemetry(const RuntimeConfig& runtime);
+
+/// Writes the metrics snapshot / trace JSON to the configured sinks now.
+/// Idempotent per configuration; the atexit hook calls this too.
+void flush_telemetry();
+
+}  // namespace eprons::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace eprons::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_trace_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// One-entry thread-local cache of (tracer id + generation) -> buffer, so
+// record() avoids the registration mutex after a thread's first event.
+// Keyed by id rather than pointer so a new Tracer reusing a dead one's
+// address cannot alias a stale buffer.
+struct BufferCache {
+  std::uint64_t key = 0;
+  std::vector<TraceEvent>* buffer = nullptr;
+};
+thread_local BufferCache t_buffer_cache;
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::set_enabled(bool enabled) {
+  if (enabled && !enabled_.load(std::memory_order_relaxed)) {
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Buffer* Tracer::thread_buffer() {
+  const std::uint64_t key =
+      (id_ << 16) ^ generation_.load(std::memory_order_acquire);
+  if (t_buffer_cache.key != key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    t_buffer_cache.key = key;
+    t_buffer_cache.buffer = buffers_.back().get();
+  }
+  return t_buffer_cache.buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  event.tid = thread_trace_id();
+  thread_buffer()->push_back(event);
+}
+
+std::size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->size();
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  // Invalidate every thread's cached buffer pointer.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    for (const TraceEvent& e : *buffer) {
+      os << (first ? "" : ",\n");
+      os << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+         << json_escape(e.cat) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+         << e.tid << ", \"ts\": " << json_number(e.ts_us)
+         << ", \"dur\": " << json_number(e.dur_us);
+      if (e.arg_name) {
+        os << ", \"args\": {\"" << json_escape(e.arg_name)
+           << "\": " << json_number(e.arg_value) << "}";
+      }
+      os << "}";
+      first = false;
+    }
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, const char* name, const char* cat,
+                       const char* arg_name, double arg_value) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  event_.name = name;
+  event_.cat = cat;
+  event_.arg_name = arg_name;
+  event_.arg_value = arg_value;
+  event_.ts_us = tracer.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!tracer_) return;
+  event_.dur_us = tracer_->now_us() - event_.ts_us;
+  tracer_->record(event_);
+}
+
+}  // namespace eprons::obs

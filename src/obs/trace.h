@@ -1,0 +1,96 @@
+// Phase tracer: RAII scoped timers emitting Chrome trace-event JSON.
+//
+// The output loads directly into chrome://tracing or https://ui.perfetto.dev
+// and shows the planner's phases — per-K consolidation, slack Monte-Carlo
+// shards, server power prediction, transition decisions, sim epochs — laid
+// out per thread over time. Every span is a complete "X" event (begin time
+// + duration in one record), so the file is valid even if spans from
+// different threads interleave arbitrarily.
+//
+// Cost model: when disabled (the default) a ScopedSpan is one relaxed
+// atomic load; when enabled it is two steady_clock reads plus an append to
+// a per-thread buffer (no lock on the hot path — buffers are registered
+// once per thread under a mutex and merged only at write_json time).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace eprons::obs {
+
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "planner";
+  double ts_us = 0.0;   // since tracer epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+  /// Optional single numeric argument (arg_name == nullptr means none).
+  const char* arg_name = nullptr;
+  double arg_value = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Enabling (re)starts the trace epoch; timestamps are relative to it.
+  void set_enabled(bool enabled);
+
+  void record(TraceEvent event);
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with only complete
+  /// ("X") events. Call at a quiescent point (no spans in flight on other
+  /// threads); the flush points used here — process exit, end of a run —
+  /// satisfy this.
+  void write_json(std::ostream& os) const;
+
+  /// Drops all recorded events (buffers of live threads are re-registered
+  /// lazily on their next record()).
+  void clear();
+
+  std::size_t num_events() const;
+
+  /// Microseconds since the trace epoch.
+  double now_us() const;
+
+ private:
+  using Buffer = std::vector<TraceEvent>;
+  Buffer* thread_buffer();
+
+  const std::uint64_t id_;  // distinguishes tracer instances across TLS caches
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::atomic<std::uint64_t> generation_{0};  // bumped by clear()
+};
+
+/// Times a scope and records it as one complete event on destruction.
+/// Inert (a single relaxed load) when the tracer is disabled at
+/// construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name, const char* cat = "planner")
+      : ScopedSpan(tracer, name, cat, nullptr, 0.0) {}
+  ScopedSpan(Tracer& tracer, const char* name, const char* cat,
+             const char* arg_name, double arg_value);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = disabled, destructor is a no-op
+  TraceEvent event_;
+};
+
+}  // namespace eprons::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "consolidate/greedy_consolidator.h"
+#include "obs/telemetry.h"
 #include "topo/aggregation.h"
 #include "util/log.h"
 
@@ -203,6 +204,8 @@ void SearchCluster::on_subquery_complete(int isn_host,
 }
 
 ClusterMetrics SearchCluster::run() {
+  const obs::ScopedSpan span(obs::tracer(), "sim_run", "sim", "utilization",
+                             config_.target_utilization);
   const SimTime warmup = effective_warmup();
   schedule_next_arrival();
   events_.run_until(warmup);
@@ -251,6 +254,22 @@ ClusterMetrics SearchCluster::run() {
       isn_count == 0 ? 0.0 : util_total / isn_count;
   metrics.queries_completed = queries_done_;
   metrics.subqueries_completed = subqueries_done_;
+
+  // Aggregated once per run (not per DES event) so the event loop stays
+  // untouched; the totals themselves are seed-deterministic.
+  static obs::Counter& sim_runs = obs::metrics().counter("sim.runs");
+  static obs::Counter& sim_queries = obs::metrics().counter("sim.queries");
+  static obs::Counter& sim_subqueries =
+      obs::metrics().counter("sim.subqueries");
+  static obs::Counter& sim_query_misses =
+      obs::metrics().counter("sim.query_misses");
+  static obs::Counter& sim_subquery_misses =
+      obs::metrics().counter("sim.subquery_misses");
+  sim_runs.add();
+  sim_queries.add(static_cast<std::uint64_t>(queries_done_));
+  sim_subqueries.add(static_cast<std::uint64_t>(subqueries_done_));
+  sim_query_misses.add(static_cast<std::uint64_t>(query_misses_));
+  sim_subquery_misses.add(static_cast<std::uint64_t>(subquery_misses_));
   return metrics;
 }
 

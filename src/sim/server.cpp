@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/telemetry.h"
+
 namespace eprons {
 
 SimServer::SimServer(EventQueue* events, const ServiceModel* service_model,
@@ -77,6 +79,10 @@ void SimServer::reselect_and_schedule(int core_index, bool at_departure) {
   core.freq = core.policy->select_frequency(
       now, std::span<const QueuedRequest>(view), done);
   core.meter.set_state(now, /*active=*/true, core.freq);
+  // DES hot path: a single wait-free relaxed add per DVFS decision.
+  static obs::Counter& freq_selections =
+      obs::metrics().counter("sim.dvfs_selections");
+  freq_selections.add();
 
   const Work remaining = core.queue.front().work - core.done;
   const SimTime finish =

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace eprons {
@@ -53,13 +54,28 @@ long long Cli::get_int(const std::string& name, long long fallback) const {
 
 RuntimeConfig runtime_from_cli(const Cli& cli) {
   RuntimeConfig runtime;
-  if (!cli.has_flag("threads")) return runtime;
-  const long long requested = cli.get_int("threads", 0);
-  if (requested > 0) {
-    runtime.threads = static_cast<int>(requested);
-  } else {
-    const unsigned hw = std::thread::hardware_concurrency();
-    runtime.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  if (cli.has_flag("threads")) {
+    const long long requested = cli.get_int("threads", 0);
+    if (requested > 0) {
+      runtime.threads = static_cast<int>(requested);
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      runtime.threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+  }
+  // Telemetry sinks (see src/obs). The env var is applied first so an
+  // explicit --log-level flag wins over EPRONS_LOG_LEVEL.
+  runtime.metrics_out = cli.get_string("metrics-out", "");
+  runtime.trace_out = cli.get_string("trace-out", "");
+  runtime.epoch_log_out = cli.get_string("epoch-log", "");
+  apply_log_level_from_env();
+  runtime.log_level = cli.get_string("log-level", "");
+  LogLevel level;
+  if (!runtime.log_level.empty() &&
+      !parse_log_level(runtime.log_level, level)) {
+    EPRONS_LOG(Warn) << "unknown --log-level '" << runtime.log_level
+                     << "' (want debug|info|warn|error|off); ignoring";
+    runtime.log_level.clear();
   }
   return runtime;
 }

@@ -40,8 +40,18 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
-/// Shared --threads[=N] flag: bare --threads uses the hardware concurrency,
-/// --threads=N pins the worker count. Absent flag = serial (1 thread).
+/// Shared runtime flags:
+///   --threads[=N]      bare --threads uses the hardware concurrency,
+///                      --threads=N pins the worker count; absent = serial.
+///   --metrics-out=F    write the metrics-registry JSON snapshot to F.
+///   --trace-out=F      write Chrome trace-event JSON (planner spans) to F.
+///   --epoch-log=F      stream one JSONL record per planner epoch to F.
+///   --log-level=L      debug|info|warn|error|off (overrides the
+///                      EPRONS_LOG_LEVEL env var, which is applied here
+///                      too).
+/// The telemetry sinks take effect when the config reaches
+/// obs::configure_telemetry — ScenarioBuilder::build() does this, so every
+/// bench/example built on a Scenario gets them for free.
 RuntimeConfig runtime_from_cli(const Cli& cli);
 
 /// Shared output-format flags: --json wins over --csv; neither = pretty.

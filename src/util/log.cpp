@@ -1,7 +1,9 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace eprons {
 
@@ -27,6 +29,30 @@ const char* log_level_name(LogLevel level) {
     case LogLevel::Off: return "OFF";
   }
   return "?";
+}
+
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char ch : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lower == "debug") out = LogLevel::Debug;
+  else if (lower == "info") out = LogLevel::Info;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+  else if (lower == "error") out = LogLevel::Error;
+  else if (lower == "off" || lower == "none") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
+bool apply_log_level_from_env() {
+  const char* env = std::getenv("EPRONS_LOG_LEVEL");
+  if (!env) return false;
+  LogLevel level;
+  if (!parse_log_level(env, level)) return false;
+  set_log_threshold(level);
+  return true;
 }
 
 namespace detail {

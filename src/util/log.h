@@ -19,6 +19,16 @@ void set_log_threshold(LogLevel level);
 
 const char* log_level_name(LogLevel level);
 
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-insensitive).
+/// Returns false (leaving `out` untouched) on anything else.
+bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// Applies the EPRONS_LOG_LEVEL environment variable to the global
+/// threshold, if set and valid. Returns true when a level was applied.
+/// Called by the CLI plumbing so every bench/example honors the env var;
+/// an explicit --log-level flag overrides it.
+bool apply_log_level_from_env();
+
 namespace detail {
 
 /// Accumulates one log line and emits it (with a mutex) on destruction.

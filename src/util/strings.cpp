@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace eprons {
 
@@ -74,6 +75,38 @@ bool parse_int(std::string_view text, long long& out) {
   if (end != buf.c_str() + buf.size()) return false;
   out = value;
   return true;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (value != value) return "\"nan\"";
+  if (value == std::numeric_limits<double>::infinity()) return "\"inf\"";
+  if (value == -std::numeric_limits<double>::infinity()) return "\"-inf\"";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
 }
 
 }  // namespace eprons

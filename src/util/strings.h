@@ -23,4 +23,15 @@ std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 bool parse_double(std::string_view text, double& out);
 bool parse_int(std::string_view text, long long& out);
 
+/// Escapes a string for use inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by Table::print_json and the
+/// telemetry exporters so every JSON emitter in the repo escapes
+/// identically.
+std::string json_escape(std::string_view text);
+
+/// Renders a double as a JSON value token: full %.17g precision for finite
+/// values (round-trips exactly), quoted "inf"/"-inf"/"nan" otherwise (JSON
+/// has no literals for them).
+std::string json_number(double value);
+
 }  // namespace eprons

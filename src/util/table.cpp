@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/strings.h"
+
 namespace eprons {
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
@@ -60,9 +62,12 @@ void Table::print(std::ostream& os) const {
     os << '\n';
   };
   emit_row(columns_);
-  std::size_t total = 0;
-  for (std::size_t w : widths) total += w + 2;
-  for (std::size_t i = 2; i < total; ++i) os << '-';
+  // Rule width = rendered row width: the cell widths plus the two-space
+  // separator between adjacent columns (none before the first).
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w;
+  if (!widths.empty()) rule += 2 * (widths.size() - 1);
+  for (std::size_t i = 0; i < rule; ++i) os << '-';
   os << '\n';
   for (const auto& cells : rendered) emit_row(cells);
 }
@@ -91,50 +96,20 @@ void Table::print_csv(std::ostream& os) const {
 }
 
 void Table::print_json(std::ostream& os) const {
-  auto escape = [](const std::string& field) {
-    std::string out;
-    out.reserve(field.size() + 2);
-    for (char ch : field) {
-      switch (ch) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(ch) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-            out += buf;
-          } else {
-            out += ch;
-          }
-      }
-    }
-    return out;
-  };
   auto emit_cell = [&](const Cell& cell) {
     if (std::holds_alternative<std::string>(cell)) {
-      os << '"' << escape(std::get<std::string>(cell)) << '"';
+      os << '"' << json_escape(std::get<std::string>(cell)) << '"';
     } else if (std::holds_alternative<long long>(cell)) {
       os << std::get<long long>(cell);
     } else {
-      const double v = std::get<double>(cell);
-      if (std::isfinite(v)) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        os << buf;
-      } else {
-        // JSON has no inf/nan literals; encode as strings.
-        os << '"' << (v > 0 ? "inf" : (v < 0 ? "-inf" : "nan")) << '"';
-      }
+      os << json_number(std::get<double>(cell));
     }
   };
   os << "[\n";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     os << "  {";
     for (std::size_t c = 0; c < columns_.size(); ++c) {
-      os << (c ? ", " : "") << '"' << escape(columns_[c]) << "\": ";
+      os << (c ? ", " : "") << '"' << json_escape(columns_[c]) << "\": ";
       emit_cell(rows_[r][c]);
     }
     os << (r + 1 < rows_.size() ? "},\n" : "}\n");

@@ -17,6 +17,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,8 +27,21 @@ namespace eprons {
 /// (JointOptimizerConfig, SlackEstimatorConfig, EpochControllerConfig) and
 /// exposed as --threads on every bench/example CLI. threads <= 1 means
 /// fully serial execution with zero pool overhead.
+///
+/// The telemetry sinks ride along so one RuntimeConfig carries everything a
+/// Scenario needs about *how* to run (vs. *what* to compute); they are
+/// plain strings here so util stays dependency-free — src/obs interprets
+/// them (obs::configure_telemetry), ScenarioBuilder applies them.
 struct RuntimeConfig {
   int threads = 1;
+  /// Metrics-registry JSON snapshot written at process exit ("" = off).
+  std::string metrics_out;
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto) ("" = off).
+  std::string trace_out;
+  /// Per-epoch JSONL stream from EpochController/TraceReplay ("" = off).
+  std::string epoch_log_out;
+  /// Log threshold override: debug|info|warn|error|off ("" = keep).
+  std::string log_level;
 };
 
 class ThreadPool {

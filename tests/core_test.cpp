@@ -9,6 +9,7 @@
 #include "core/slack_estimator.h"
 #include "core/trace_replay.h"
 #include "dvfs/synthetic_workload.h"
+#include "obs/telemetry.h"
 #include "trace/diurnal.h"
 
 namespace eprons {
@@ -222,6 +223,55 @@ TEST(JointOptimizer, TotalPowerIncludesServersAndNetwork) {
   EXPECT_NEAR(plan.total_power,
               plan.network_power + 16 * plan.server.server_power, 1e-6);
   EXPECT_GT(plan.network_power, 0.0);
+}
+
+TEST(JointOptimizer, TelemetryMatchesReturnedPlan) {
+  // The metrics the K search records must agree with the JointPlan it
+  // returns: one k_candidate per candidate K, the chosen_k/chosen_total_w
+  // gauges set from the serial reduction, and candidate classifications
+  // that partition the candidate count.
+  const FatTree topo(4);
+  const ServiceModel model = core_model();
+  const ServerPowerModel power;
+  const JointOptimizerConfig config = fast_joint_config();
+  const JointOptimizer optimizer(&topo, &model, &power, config);
+  Rng rng(23);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 4, 0.1, 0.0, rng);
+
+  const obs::MetricsSnapshot before = obs::metrics().snapshot();
+  auto counter_at = [](const obs::MetricsSnapshot& snap,
+                       const std::string& name) -> std::uint64_t {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0u : it->second;
+  };
+
+  const JointPlan plan = optimizer.optimize(background, 0.3);
+  const obs::MetricsSnapshot after = obs::metrics().snapshot();
+
+  std::uint64_t expected_candidates = 0;
+  for (double k = config.k_min; k <= config.k_max + 1e-9; k += config.k_step) {
+    ++expected_candidates;
+  }
+  const std::uint64_t candidates =
+      counter_at(after, "planner.k_candidates") -
+      counter_at(before, "planner.k_candidates");
+  EXPECT_EQ(candidates, expected_candidates);
+  EXPECT_EQ(counter_at(after, "planner.searches") -
+                counter_at(before, "planner.searches"),
+            1u);
+  // Feasible + infeasible classifications partition the candidates.
+  const std::uint64_t classified =
+      (counter_at(after, "planner.k_feasible") -
+       counter_at(before, "planner.k_feasible")) +
+      (counter_at(after, "planner.k_infeasible_placement") -
+       counter_at(before, "planner.k_infeasible_placement")) +
+      (counter_at(after, "planner.k_infeasible_budget") -
+       counter_at(before, "planner.k_infeasible_budget"));
+  EXPECT_EQ(classified, candidates);
+  // Gauges are set in the serial reduction from the winning plan.
+  EXPECT_EQ(after.gauges.at("planner.chosen_k"), plan.k);
+  EXPECT_EQ(after.gauges.at("planner.chosen_total_w"), plan.total_power);
 }
 
 TEST(JointOptimizer, ParallelSearchMatchesSerialExactly) {

@@ -6,11 +6,13 @@
 #include <sstream>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -302,6 +304,66 @@ TEST(Table, JsonEmitsOneObjectPerRow) {
   EXPECT_NE(json.find("{\"name\": \"a\\\"b\", \"value\": 1.5}"),
             std::string::npos);
   EXPECT_NE(json.find("{\"name\": 7, \"value\": 2}"), std::string::npos);
+}
+
+TEST(Table, DividerSpansFullRowWidth) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream lines(os.str());
+  std::string header, divider;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, divider));
+  EXPECT_EQ(divider.size(), header.size());
+  EXPECT_EQ(divider.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Strings, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Strings, JsonNumberFormatsSpecials) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(json_number(std::nan("")), "\"nan\"");
+}
+
+TEST(Log, ParseLogLevelAcceptsAllSpellings) {
+  LogLevel level = LogLevel::Warn;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("INFO", level));
+  EXPECT_EQ(level, LogLevel::Info);
+  EXPECT_TRUE(parse_log_level("Warning", level));
+  EXPECT_EQ(level, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("error", level));
+  EXPECT_EQ(level, LogLevel::Error);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose", level));
+  EXPECT_EQ(level, LogLevel::Off);  // untouched on failure
+}
+
+TEST(Cli, RuntimeFromCliParsesTelemetrySinks) {
+  const char* argv[] = {"prog", "--metrics-out=m.json", "--trace-out=t.json",
+                        "--epoch-log=e.jsonl"};
+  const RuntimeConfig runtime = runtime_from_cli(Cli(4, argv));
+  EXPECT_EQ(runtime.metrics_out, "m.json");
+  EXPECT_EQ(runtime.trace_out, "t.json");
+  EXPECT_EQ(runtime.epoch_log_out, "e.jsonl");
+  const char* none[] = {"prog"};
+  const RuntimeConfig empty = runtime_from_cli(Cli(1, none));
+  EXPECT_TRUE(empty.metrics_out.empty());
+  EXPECT_TRUE(empty.trace_out.empty());
+  EXPECT_TRUE(empty.epoch_log_out.empty());
 }
 
 }  // namespace

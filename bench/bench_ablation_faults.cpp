@@ -1,0 +1,118 @@
+// Ablation: fault injection vs SLA-aware emergency recovery.
+//
+// EPRONS consolidates onto a minimal subnet — the configuration most
+// fragile to an unplanned switch or link failure. This bench injects a
+// deterministic, seed-driven fault schedule (switch crashes, link outages,
+// flaky links) into the epoch-controller loop and sweeps
+// MTBF x linger_epochs x K floor, reporting the paper-style tradeoff:
+// lingering backup switches cost idle energy every epoch, but during an
+// outage they are a hot standby pool — recovery completes in one 2 s poll
+// instead of one poll + a 72.52 s cold boot, cutting the modeled SLA
+// violations during the outage window by the same factor.
+//
+// Flags: --mtbf=SECONDS (600), --mttr=SECONDS (120), --fault-seed=N (7),
+// --epochs=N (24), plus the shared --threads/--csv/--json/telemetry flags.
+// Output is bit-identical for any --threads value.
+#include "bench_common.h"
+#include "core/epoch_controller.h"
+#include "fault/fault_injector.h"
+#include "trace/diurnal.h"
+
+using namespace eprons;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const TableFormat fmt = table_format_from_cli(cli);
+  bench::print_header(
+      "Ablation — fault injection and SLA-aware emergency recovery",
+      "backup paths (section IV-B, citing ElasticTree) hide the 72.52 s "
+      "boot window from failure recovery, at lingering-switch energy cost");
+
+  const double mtbf_s = cli.get_double("mtbf", 600.0);
+  const double mttr_s = cli.get_double("mttr", 120.0);
+  const auto fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 7));
+  const int epochs = static_cast<int>(cli.get_int("epochs", 24));
+
+  const Scenario scn = bench::make_scenario(cli);
+  const Graph& graph = scn.topology().graph();
+  const DiurnalTraceConfig trace_config;
+  const auto trace = make_diurnal_trace(trace_config);
+  const int epoch_minutes = 10;
+  const SimTime epoch_length = sec(60.0 * epoch_minutes);
+
+  Table t({"mtbf_s", "linger", "k_min", "outages", "replans", "hot", "boots",
+           "est_violations", "boot_Wh", "linger_Wh", "mean_switches"});
+  t.set_precision(2);
+
+  for (double mtbf : {mtbf_s, 4.0 * mtbf_s}) {
+    for (int linger : {0, 1, 3}) {
+      for (double k_min : {1.0, 2.0}) {
+        EpochControllerConfig config;
+        config.transition.linger_epochs = linger;
+        config.transition.epoch_length = epoch_length;
+        config.joint.k_min = k_min;
+        config.joint.slack.samples_per_pair = 120;
+        config.samples_per_epoch = 60;
+        EpochController controller = scn.epoch_controller(config);
+
+        FaultInjectorConfig faults;
+        faults.mtbf = sec(mtbf);
+        faults.mttr = sec(mttr_s);
+        faults.horizon = epochs * epoch_length;
+        faults.seed = fault_seed;
+        const FaultSchedule schedule = generate_fault_schedule(graph, faults);
+        FaultCursor cursor(&graph, &schedule.timeline);
+
+        Rng rng(77);
+        long long switch_epochs = 0;
+        long long replans = 0, hot = 0, boots = 0;
+        double est_violations = 0.0;
+        for (int e = 0; e < epochs; ++e) {
+          const TracePoint& point =
+              trace[static_cast<std::size_t>(e * epoch_minutes) %
+                    trace.size()];
+          const FlowGenConfig gen = scn.flow_gen();
+          Rng flow_rng(2000 + e);
+          const FlowSet background = make_background_flows(
+              gen, 6, point.background_util, 0.1, flow_rng);
+          const double util = std::max(0.02, 0.5 * point.search_load);
+          const EpochReport report =
+              controller.run_epoch(background, util, rng);
+          switch_epochs += report.actual_switches;
+
+          // Failures noticed by the 2 s poll, not the 10-min epoch: every
+          // transition batch inside this epoch triggers a notification.
+          const SimTime epoch_end = (e + 1) * epoch_length;
+          while (!cursor.exhausted() && cursor.next_time() <= epoch_end) {
+            cursor.advance_to(cursor.next_time());
+            const RecoveryReport recovery =
+                controller.on_failure(cursor.overlay());
+            if (recovery.replanned) {
+              ++replans;
+              if (recovery.hot_recovery) ++hot;
+            }
+            boots += recovery.emergency_boots;
+            est_violations += recovery.estimated_outage_violations;
+          }
+        }
+
+        const double to_wh = 1.0 / 3.6e9;  // Energy is W*us
+        t.add_row({mtbf, static_cast<long long>(linger), k_min,
+                   static_cast<long long>(schedule.events.size()), replans,
+                   hot, boots, est_violations,
+                   controller.transitions().boot_energy() * to_wh,
+                   controller.transitions().lingering_energy() * to_wh,
+                   static_cast<double>(switch_epochs) / epochs});
+      }
+    }
+  }
+  t.print(std::cout, fmt);
+  std::printf(
+      "\nhot = replans served entirely by already-on switches (lingering "
+      "backups): the outage window is one 2 s poll. Cold recoveries add a "
+      "72.52 s boot on top, multiplying the queries lost during the outage "
+      "(est_violations). linger buys hot recoveries at linger_Wh of idle "
+      "standby energy.\n");
+  return 0;
+}

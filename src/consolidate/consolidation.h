@@ -35,6 +35,10 @@ struct ConsolidationConfig {
   /// switches marked true — used to consolidate *within* a fixed
   /// aggregation-policy subnet (Fig. 9/10/13). Empty = whole topology.
   std::vector<bool> allowed_switches;
+  /// When non-empty (LinkId-indexed), links marked true carry no traffic —
+  /// the fault overlay's down links during an emergency re-plan. Empty =
+  /// every link usable.
+  std::vector<bool> blocked_links;
 };
 
 struct ConsolidationResult {

@@ -77,13 +77,27 @@ ConsolidationResult GreedyConsolidator::consolidate(
                          : flow.scaled_demand(config.scale_factor_k);
   };
 
+  auto path_blocked = [&](const Path& path) {
+    if (config.blocked_links.empty()) return false;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const LinkId lid = graph.find_link(path[h], path[h + 1]);
+      if (config.blocked_links[static_cast<std::size_t>(lid)]) return true;
+    }
+    return false;
+  };
+
   for (std::size_t fi : order) {
     const Flow& flow = flows[fi];
-    const std::vector<Path> candidates =
+    std::vector<Path> candidates =
         config.allowed_switches.empty()
             ? topo.all_paths(flow.src_host, flow.dst_host)
             : topo.active_paths(flow.src_host, flow.dst_host,
                                 config.allowed_switches);
+    if (!config.blocked_links.empty()) {
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(), path_blocked),
+          candidates.end());
+    }
     if (candidates.empty()) {
       // The restricted subnet disconnects this pair entirely.
       overloaded = true;

@@ -66,6 +66,12 @@ ConsolidationResult MilpConsolidator::consolidate(
   for (const Link& l : graph.links()) {
     x_var[static_cast<std::size_t>(l.id)] =
         model.add_binary(strformat("X_%d", l.id), config.link_power);
+    // Fault overlay: pin down links off. Capacity rows (and the z<=x rows
+    // for zero-demand flows) then exclude every path crossing them.
+    if (!config.blocked_links.empty() &&
+        config.blocked_links[static_cast<std::size_t>(l.id)]) {
+      model.variable(x_var[static_cast<std::size_t>(l.id)]).upper = 0.0;
+    }
     // Eq. (7): a link can only be on if both switch endpoints are on.
     for (NodeId end : {l.a, l.b}) {
       if (graph.is_switch(end)) {

@@ -42,7 +42,7 @@ TransitionController::TransitionController(const Graph* graph,
       unused_epochs_(graph->num_nodes(), 0) {}
 
 const std::vector<bool>& TransitionController::step(
-    const std::vector<bool>& wanted_on) {
+    const std::vector<bool>& wanted_on, const std::vector<bool>* failed) {
   static obs::Counter& boot_count =
       obs::metrics().counter("transition.boots");
   static obs::Counter& linger_count =
@@ -55,6 +55,11 @@ const std::vector<bool>& TransitionController::step(
     const auto i = static_cast<std::size_t>(n.id);
     if (!is_switch_type(n.type)) {
       next[i] = i < wanted_on.size() && wanted_on[i];
+      continue;
+    }
+    if (failed && i < failed->size() && (*failed)[i]) {
+      next[i] = false;
+      unused_epochs_[i] = 0;  // linger clock restarts once repaired
       continue;
     }
     const bool want = i < wanted_on.size() && wanted_on[i];
@@ -93,6 +98,39 @@ const std::vector<bool>& TransitionController::step(
   }
   first_epoch_ = false;
   actual_on_ = std::move(next);
+  return actual_on_;
+}
+
+const std::vector<bool>& TransitionController::apply_emergency(
+    const std::vector<bool>& wanted_on, const std::vector<bool>* failed,
+    int* boots_out) {
+  static obs::Counter& boot_count =
+      obs::metrics().counter("transition.boots");
+  int boots = 0;
+  for (const Node& n : graph_->nodes()) {
+    if (!is_switch_type(n.type)) continue;
+    const auto i = static_cast<std::size_t>(n.id);
+    if (failed && i < failed->size() && (*failed)[i]) {
+      actual_on_[i] = false;
+      unused_epochs_[i] = 0;
+      continue;
+    }
+    const bool want = i < wanted_on.size() && wanted_on[i];
+    if (want && !actual_on_[i]) {
+      ++boots;
+      actual_on_[i] = true;
+      unused_epochs_[i] = 0;
+      EPRONS_LOG(Debug) << "transition: emergency boot of " << n.name;
+    }
+    // Switches that are on but not wanted keep their state: the regular
+    // epoch step owns the linger/power-off policy.
+  }
+  if (boots > 0) {
+    boot_energy_ += config_.power_on_time * boots * config_.boot_power;
+    total_boots_ += boots;
+    boot_count.add(static_cast<std::uint64_t>(boots));
+  }
+  if (boots_out) *boots_out = boots;
   return actual_on_;
 }
 

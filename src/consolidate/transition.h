@@ -64,7 +64,22 @@ class TransitionController {
                                 TransitionConfig config = {});
 
   /// Advances one epoch. Returns the mask actually powered this epoch.
-  const std::vector<bool>& step(const std::vector<bool>& wanted_on);
+  /// When `failed` is given (NodeId-indexed), failed switches are forced
+  /// off regardless of wanted/linger state — a crashed switch cannot serve
+  /// as a backup path, and its linger clock restarts on repair.
+  const std::vector<bool>& step(const std::vector<bool>& wanted_on,
+                                const std::vector<bool>* failed = nullptr);
+
+  /// Mid-epoch emergency reconfiguration (does not advance the epoch
+  /// counter or linger clocks): failed switches go off, switches newly
+  /// wanted are powered (counting boots and boot energy for those that
+  /// were actually off), everything else keeps its current state — a
+  /// lingering backup stays on at zero extra boot cost, which is the whole
+  /// point of the hot standby pool. Returns the updated actual mask;
+  /// `boots_out` (optional) receives the number of cold boots incurred.
+  const std::vector<bool>& apply_emergency(const std::vector<bool>& wanted_on,
+                                           const std::vector<bool>* failed,
+                                           int* boots_out = nullptr);
 
   const std::vector<bool>& current_mask() const { return actual_on_; }
   /// Total boots that incurred a boot window so far.

@@ -19,10 +19,24 @@
 
 namespace eprons {
 
+/// Emergency re-plan knobs (paper section IV-B: the POX controller polls
+/// every 2 s, so faults are noticed at poll granularity, not epoch
+/// granularity).
+struct FaultRecoveryConfig {
+  /// Failure-detection latency: one controller poll, us.
+  SimTime poll_interval = sec(2.0);
+  /// Additive K bump applied when the surviving subnet forces a cold
+  /// re-plan (clamped to the optimizer's k_max): lost capacity erodes
+  /// slack, so the controller reserves more headroom until the next full
+  /// epoch re-optimizes from scratch.
+  double k_bump = 1.0;
+};
+
 struct EpochControllerConfig {
   JointOptimizerConfig joint;
   TransitionConfig transition;
   DemandPredictorConfig predictor;
+  FaultRecoveryConfig recovery;
   /// Rate observations per flow per epoch (10 min / 2 s polling = 300).
   int samples_per_epoch = 300;
   /// Multiplicative noise of each observation around the true rate
@@ -58,6 +72,42 @@ struct EpochReport {
   SimTime server_budget = 0.0;
 };
 
+/// Outcome of one emergency re-plan (see on_failure). All quantities are
+/// *modeled* — derived from the poll interval, boot time, and query rate —
+/// never from wall clock, so reports are bit-identical for any --threads.
+struct RecoveryReport {
+  int epoch = 0;
+  /// A connected surviving subnet exists (hosts mutually reachable).
+  bool connected = false;
+  /// The optimizer produced a new plan (false when no epoch ran yet or the
+  /// failure touched nothing the current plan uses).
+  bool replanned = false;
+  /// Recovery needed no cold boots: lingering backups + already-on
+  /// switches absorbed the re-routed traffic.
+  bool hot_recovery = false;
+  double previous_k = 0.0;
+  double chosen_k = 0.0;
+  /// K was raised above the pre-failure value to buy back slack.
+  bool k_bumped = false;
+  /// Lingering backup switches promoted onto the datapath (no boot cost).
+  int woken_backups = 0;
+  /// Cold boots started by the recovery (each pays power_on_time).
+  int emergency_boots = 0;
+  /// Flows of the pre-failure plan whose path crossed a failed element.
+  int flows_rerouted = 0;
+  /// Of those, query (latency-sensitive request/reply) flows.
+  int affected_query_flows = 0;
+  /// Modeled detection-to-recovery window, us: one poll interval, plus the
+  /// boot window when any cold boot was needed.
+  SimTime time_to_replan = 0.0;
+  /// Modeled queries arriving inside that window while any query path was
+  /// down; every query fans out to all leaf servers, so one broken query
+  /// path makes every in-flight query miss the SLA.
+  double estimated_outage_violations = 0.0;
+  int actual_switches = 0;
+  Power network_power = 0.0;
+};
+
 class EpochController {
  public:
   EpochController(const Topology* topo, const ServiceModel* service_model,
@@ -66,8 +116,23 @@ class EpochController {
 
   /// Runs one epoch against ground-truth background demands. The controller
   /// never sees `true_background` directly — only noisy rate samples.
+  /// While faults are active (on_failure was called and clear_faults was
+  /// not), planning is restricted to the surviving subnet.
   EpochReport run_epoch(const FlowSet& true_background, double utilization,
                         Rng& rng);
+
+  /// Emergency re-plan on a fault notification (the 2 s poll noticed
+  /// `overlay`, not the 10-min epoch): re-runs the consolidator on the
+  /// surviving subnet, preferring already-on switches — lingering backups
+  /// act as a hot standby pool — and bumps K when only a cold re-plan
+  /// (new boots, or shrunk capacity) can restore feasibility. The overlay
+  /// is remembered until clear_faults(); subsequent run_epoch calls plan
+  /// around it.
+  RecoveryReport on_failure(const FailureOverlay& overlay);
+
+  /// Forgets the active overlay: everything repaired.
+  void clear_faults();
+  bool faults_active() const { return faults_active_; }
 
   const std::vector<bool>& current_mask() const {
     return transitions_.current_mask();
@@ -76,6 +141,10 @@ class EpochController {
   int epochs_run() const { return epoch_; }
 
  private:
+  /// Wanted mask fallback: when the optimizer's plan cannot connect the
+  /// hosts (or produced none), power every surviving switch.
+  std::vector<bool> surviving_fallback_mask() const;
+
   const Topology* topo_;
   const ServiceModel* service_model_;
   const ServerPowerModel* power_model_;
@@ -85,6 +154,18 @@ class EpochController {
   /// Persistent so its thread pool survives across epochs.
   std::unique_ptr<JointOptimizer> optimizer_;
   int epoch_ = 0;
+
+  // Fault state (set by on_failure, cleared by clear_faults).
+  bool faults_active_ = false;
+  FailureOverlay active_overlay_;
+  std::vector<bool> failed_switch_mask_;  // NodeId-indexed
+
+  // Last-epoch snapshot the emergency path re-plans from: run_epoch's
+  // predicted demands and the plan it chose.
+  FlowSet last_predicted_;
+  double last_utilization_ = 0.0;
+  JointPlan last_plan_;
+  bool have_plan_ = false;
 };
 
 }  // namespace eprons

@@ -57,13 +57,13 @@ JointOptimizer::JointOptimizer(const Topology* topo,
 JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
                                      double utilization, double k) const {
   return plan_impl(background, utilization, k, pool_.get(),
-                   /*serial_slack=*/false);
+                   /*serial_slack=*/false, /*constraints=*/nullptr);
 }
 
 JointPlan JointOptimizer::plan_impl(const FlowSet& background,
                                     double utilization, double k,
-                                    ThreadPool* slack_pool,
-                                    bool serial_slack) const {
+                                    ThreadPool* slack_pool, bool serial_slack,
+                                    const PlanConstraints* constraints) const {
   const obs::ScopedSpan span(obs::tracer(), "plan_k", "planner", "k", k);
   PlannerMetrics& pm = PlannerMetrics::get();
   pm.candidates.add();
@@ -92,6 +92,14 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
 
   ConsolidationConfig consolidation = config_.consolidation;
   consolidation.scale_factor_k = k;
+  if (constraints) {
+    if (!constraints->allowed_switches.empty()) {
+      consolidation.allowed_switches = constraints->allowed_switches;
+    }
+    if (!constraints->blocked_links.empty()) {
+      consolidation.blocked_links = constraints->blocked_links;
+    }
+  }
   plan.placement = consolidator_->consolidate(*topo_, plan.flows,
                                               consolidation);
   plan.network_power = plan.placement.network_power;
@@ -159,16 +167,26 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
 
 JointPlan JointOptimizer::optimize(const FlowSet& background,
                                    double utilization) const {
+  return optimize(background, utilization, PlanConstraints{});
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization,
+                                   const PlanConstraints& constraints) const {
   const obs::ScopedSpan span(obs::tracer(), "k_search", "planner",
                              "utilization", utilization);
   PlannerMetrics& pm = PlannerMetrics::get();
   pm.searches.add();
 
+  const bool constrained = !constraints.allowed_switches.empty() ||
+                           !constraints.blocked_links.empty() ||
+                           constraints.k_min > 0.0;
+  const double k_floor = std::max(config_.k_min, constraints.k_min);
   std::vector<double> candidates;
-  for (double k = config_.k_min; k <= config_.k_max + 1e-9;
-       k += config_.k_step) {
+  for (double k = k_floor; k <= config_.k_max + 1e-9; k += config_.k_step) {
     candidates.push_back(k);
   }
+  if (candidates.empty()) candidates.push_back(config_.k_max);
 
   // Evaluate every candidate independently (concurrently when a pool
   // exists). While the candidates occupy the pool the slack estimator runs
@@ -180,7 +198,8 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
   parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
     plans[i] = plan_impl(background, utilization, candidates[i],
                          parallel_candidates ? nullptr : pool_.get(),
-                         /*serial_slack=*/parallel_candidates);
+                         /*serial_slack=*/parallel_candidates,
+                         constrained ? &constraints : nullptr);
   });
 
   // Deterministic serial reduction in candidate order.

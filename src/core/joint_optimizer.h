@@ -53,6 +53,21 @@ struct JointOptimizerConfig {
   RuntimeConfig runtime;
 };
 
+/// Extra constraints for one optimize() call, layered on top of the
+/// configured ConsolidationConfig. The emergency re-plan path uses these to
+/// restrict placement to the surviving subnet without mutating the
+/// optimizer's configuration (optimize() stays const and thread-safe).
+struct PlanConstraints {
+  /// NodeId-indexed; when non-empty, replaces consolidation.allowed_switches
+  /// (intersect before passing if both must hold).
+  std::vector<bool> allowed_switches;
+  /// LinkId-indexed; when non-empty, replaces consolidation.blocked_links.
+  std::vector<bool> blocked_links;
+  /// Raises the bottom of the K sweep — the recovery path bumps K when the
+  /// surviving capacity erodes slack. 0 keeps the configured k_min.
+  double k_min = 0.0;
+};
+
 struct JointPlan {
   bool feasible = false;
   double k = 1.0;
@@ -94,14 +109,20 @@ class JointOptimizer {
   /// bit-identical to the serial search.
   JointPlan optimize(const FlowSet& background, double utilization) const;
 
+  /// As above, restricted by `constraints` (surviving subnet, blocked
+  /// links, raised K floor) — the emergency re-plan entry point.
+  JointPlan optimize(const FlowSet& background, double utilization,
+                     const PlanConstraints& constraints) const;
+
  private:
   /// `slack_pool` parallelizes the slack estimator's shards;
   /// `serial_slack` forces shard-serial estimation (used when the K
   /// candidates themselves already occupy the pool). Neither affects the
-  /// returned plan, only how fast it is computed.
+  /// returned plan, only how fast it is computed. `constraints` may be
+  /// null (unconstrained).
   JointPlan plan_impl(const FlowSet& background, double utilization,
-                      double k, ThreadPool* slack_pool,
-                      bool serial_slack) const;
+                      double k, ThreadPool* slack_pool, bool serial_slack,
+                      const PlanConstraints* constraints) const;
 
   const Topology* topo_;
   const ServiceModel* service_model_;

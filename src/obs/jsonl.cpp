@@ -25,8 +25,37 @@ std::string to_jsonl(const EpochRecord& r) {
   return out;
 }
 
+std::string to_jsonl(const FaultRecord& r) {
+  std::string out = "{";
+  out += "\"source\": \"" + json_escape(r.source) + "\"";
+  out += ", \"epoch\": " + std::to_string(r.epoch);
+  out += ", \"failed_switches\": " + std::to_string(r.failed_switches);
+  out += ", \"failed_links\": " + std::to_string(r.failed_links);
+  out += std::string(", \"connected\": ") + (r.connected ? "true" : "false");
+  out += std::string(", \"hot_recovery\": ") +
+         (r.hot_recovery ? "true" : "false");
+  out += std::string(", \"replanned\": ") + (r.replanned ? "true" : "false");
+  out += ", \"chosen_k\": " + json_number(r.chosen_k);
+  out += std::string(", \"k_bumped\": ") + (r.k_bumped ? "true" : "false");
+  out += ", \"woken_backups\": " + std::to_string(r.woken_backups);
+  out += ", \"emergency_boots\": " + std::to_string(r.emergency_boots);
+  out += ", \"flows_rerouted\": " + std::to_string(r.flows_rerouted);
+  out += ", \"time_to_replan_us\": " + json_number(r.time_to_replan_us);
+  out += ", \"estimated_outage_violations\": " +
+         json_number(r.estimated_outage_violations);
+  out += "}\n";
+  return out;
+}
+
 void JsonlWriter::write(const EpochRecord& record) {
-  const std::string line = to_jsonl(record);
+  write_line(to_jsonl(record));
+}
+
+void JsonlWriter::write(const FaultRecord& record) {
+  write_line(to_jsonl(record));
+}
+
+void JsonlWriter::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);
   (*os_) << line;
   os_->flush();  // streaming: each epoch is visible as soon as it happens

@@ -38,9 +38,38 @@ struct EpochRecord {
   double utilization = 0.0;
 };
 
+/// One emergency re-plan triggered by a fault notification, interleaved
+/// with EpochRecords in the same JSONL stream ("source" disambiguates).
+struct FaultRecord {
+  const char* source = "fault_recovery";
+  /// Epoch during which the failure was noticed.
+  int epoch = 0;
+  int failed_switches = 0;
+  int failed_links = 0;
+  /// Whether a connected surviving subnet exists at all.
+  bool connected = false;
+  /// Recovery served entirely by already-on switches (lingering backups).
+  bool hot_recovery = false;
+  bool replanned = false;
+  double chosen_k = 0.0;
+  bool k_bumped = false;
+  /// Lingering backup switches promoted onto the datapath.
+  int woken_backups = 0;
+  /// Cold boots the recovery had to start (each costs power_on_time).
+  int emergency_boots = 0;
+  int flows_rerouted = 0;
+  /// Modeled detection-to-recovery window, us (poll interval, plus the
+  /// boot window when any cold boot was needed).
+  double time_to_replan_us = 0.0;
+  /// Modeled queries arriving inside that window while query paths were
+  /// down — each misses the SLA.
+  double estimated_outage_violations = 0.0;
+};
+
 /// Serializes `record` as a single JSON object line (no trailing spaces,
 /// '\n'-terminated). Field order is fixed, output is deterministic.
 std::string to_jsonl(const EpochRecord& record);
+std::string to_jsonl(const FaultRecord& record);
 
 /// Streams records to an ostream, one line each. Thread-safe at the line
 /// level; the stream is borrowed and must outlive the writer.
@@ -49,9 +78,12 @@ class JsonlWriter {
   explicit JsonlWriter(std::ostream* os) : os_(os) {}
 
   void write(const EpochRecord& record);
+  void write(const FaultRecord& record);
   std::size_t records_written() const;
 
  private:
+  void write_line(const std::string& line);
+
   std::ostream* os_;
   mutable std::mutex mutex_;
   std::size_t records_ = 0;

@@ -49,6 +49,16 @@ struct ClusterMetrics {
 
   std::size_t queries_completed = 0;
   std::size_t subqueries_completed = 0;
+
+  // Fault-injection accounting (all zero without a fault timeline).
+  /// Query flows moved onto an alternate surviving path mid-run.
+  std::size_t flows_rerouted = 0;
+  /// Sub-queries dropped because no surviving path existed when issued
+  /// (each is charged the drop penalty and counted as an SLA miss).
+  std::size_t subqueries_dropped = 0;
+  /// SLA misses recorded while any failure was outstanding (dropped
+  /// sub-queries plus organic misses during the outage window).
+  std::size_t outage_sla_misses = 0;
 };
 
 }  // namespace eprons

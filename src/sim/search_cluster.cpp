@@ -37,6 +37,13 @@ SearchCluster::SearchCluster(const SearchClusterConfig& config,
   arrival_rate_ = config_.target_utilization *
                   inputs_.power_model->num_cores() / mean_service;
 
+  if (inputs_.fault_timeline && !inputs_.fault_timeline->empty()) {
+    faults_ = std::make_unique<FaultCursor>(&inputs_.topo->graph(),
+                                            inputs_.fault_timeline);
+    request_down_.assign(static_cast<std::size_t>(hosts), 0);
+    reply_down_.assign(static_cast<std::size_t>(hosts), 0);
+  }
+
   servers_.reserve(static_cast<std::size_t>(hosts));
   for (int h = 0; h < hosts; ++h) {
     auto handler = [this, h](const ServerCompletion& completion) {
@@ -60,6 +67,72 @@ Path SearchCluster::path_for(FlowId flow) const {
   return paths[static_cast<std::size_t>(flow)];
 }
 
+const Path& SearchCluster::effective_path(FlowId flow) const {
+  if (faults_) {
+    const auto it = path_override_.find(flow);
+    if (it != path_override_.end()) return it->second;
+  }
+  const auto& paths = inputs_.placement->flow_paths;
+  if (flow < 0 || static_cast<std::size_t>(flow) >= paths.size() ||
+      paths[static_cast<std::size_t>(flow)].size() < 2) {
+    throw std::invalid_argument("query flow has no routed path");
+  }
+  return paths[static_cast<std::size_t>(flow)];
+}
+
+SimTime SearchCluster::drop_penalty() const {
+  return config_.fault_drop_penalty > 0.0 ? config_.fault_drop_penalty
+                                          : 2.0 * config_.latency_constraint;
+}
+
+void SearchCluster::recompute_query_paths() {
+  const FailureOverlay& overlay = faults_->overlay();
+  const int agg = config_.aggregator_host;
+  // Deterministic per-flow rule: keep the planned path while it survives
+  // (so a repair restores it exactly), else the leftmost surviving path of
+  // the active subnet, else mark the flow down. Ordered host-by-host so
+  // the reroute count is identical for any run.
+  auto update = [&](FlowId flow, int src_host, int dst_host,
+                    std::vector<char>& down, std::size_t slot) {
+    const Path& planned = path_for(flow);
+    if (!overlay.blocks(planned)) {
+      down[slot] = 0;
+      path_override_.erase(flow);
+      return;
+    }
+    const std::vector<Path> candidates = inputs_.topo->active_paths(
+        src_host, dst_host, inputs_.placement->switch_on);
+    for (const Path& candidate : candidates) {
+      if (overlay.blocks(candidate)) continue;
+      const auto it = path_override_.find(flow);
+      if (it == path_override_.end() || it->second != candidate) {
+        path_override_[flow] = candidate;
+        ++flows_rerouted_;
+      }
+      down[slot] = 0;
+      return;
+    }
+    down[slot] = 1;
+    path_override_.erase(flow);
+  };
+  for (int h = 0; h < inputs_.topo->num_hosts(); ++h) {
+    if (h == agg) continue;
+    const auto slot = static_cast<std::size_t>(h);
+    update(inputs_.request_flow[slot], agg, h, request_down_, slot);
+    update(inputs_.reply_flow[slot], h, agg, reply_down_, slot);
+  }
+}
+
+void SearchCluster::schedule_next_fault() {
+  if (!faults_ || faults_->exhausted()) return;
+  const SimTime when = std::max(faults_->next_time(), events_.now());
+  events_.schedule(when, [this] {
+    faults_->advance_to(events_.now());
+    recompute_query_paths();
+    schedule_next_fault();
+  });
+}
+
 void SearchCluster::schedule_next_arrival() {
   const SimTime gap = rng_.exponential(1.0 / arrival_rate_);
   events_.schedule_in(gap, [this] {
@@ -81,8 +154,17 @@ void SearchCluster::issue_query() {
 
   for (int h = 0; h < hosts; ++h) {
     if (h == config_.aggregator_host) continue;
+    if (faults_ && request_down_[static_cast<std::size_t>(h)]) {
+      // No surviving path to this ISN: the sub-query is dropped and
+      // charged the timeout penalty (always an SLA miss).
+      ++subqueries_dropped_;
+      events_.schedule_in(drop_penalty(), [this, query] {
+        complete_subquery(query, 0.0, 0.0, /*dropped=*/true);
+      });
+      continue;
+    }
     const Path request_path =
-        path_for(inputs_.request_flow[static_cast<std::size_t>(h)]);
+        effective_path(inputs_.request_flow[static_cast<std::size_t>(h)]);
     const SimTime net_req = latency_.sample_latency(request_path, rng_);
 
     ServerRequest request;
@@ -127,8 +209,17 @@ SimTime SearchCluster::effective_warmup() const {
 void SearchCluster::on_subquery_complete(int isn_host,
                                          const ServerCompletion& completion) {
   const SimTime now = completion.completed_at;
+  if (faults_ && reply_down_[static_cast<std::size_t>(isn_host)]) {
+    // The reply leg is severed: the aggregator times the sub-query out.
+    ++subqueries_dropped_;
+    const RequestId dropped_query = completion.request.tag;
+    events_.schedule(now + drop_penalty(), [this, dropped_query] {
+      complete_subquery(dropped_query, 0.0, 0.0, /*dropped=*/true);
+    });
+    return;
+  }
   const Path reply_path =
-      path_for(inputs_.reply_flow[static_cast<std::size_t>(isn_host)]);
+      effective_path(inputs_.reply_flow[static_cast<std::size_t>(isn_host)]);
   SimTime net_rep = latency_.sample_latency(reply_path, rng_);
   if (config_.model_incast) {
     // The reply queues behind other replies converging on the aggregator's
@@ -176,31 +267,43 @@ void SearchCluster::on_subquery_complete(int isn_host,
   }
 
   events_.schedule(reply_arrival, [this, query, server_time, net_total] {
-    const SimTime now2 = events_.now();
-    const bool measured = now2 >= effective_warmup();
-    if (measured) {
-      network_latency_.add(net_total);
-      server_latency_.add(server_time);
-      ++subqueries_done_;
-    }
-    const auto entry = inflight_.find(query);
-    if (entry == inflight_.end()) return;
-    if (measured) {
-      const SimTime sub_e2e = now2 - entry->second.issued;
-      subquery_latency_.add(sub_e2e);
-      if (sub_e2e > config_.latency_constraint) ++subquery_misses_;
-    }
-    entry->second.last_reply = now2;
-    if (--entry->second.outstanding == 0) {
-      const SimTime e2e = now2 - entry->second.issued;
-      if (entry->second.issued >= effective_warmup()) {
-        query_latency_.add(e2e);
-        ++queries_done_;
-        if (e2e > config_.latency_constraint) ++query_misses_;
-      }
-      inflight_.erase(entry);
-    }
+    complete_subquery(query, net_total, server_time, /*dropped=*/false);
   });
+}
+
+void SearchCluster::complete_subquery(RequestId query, SimTime net_total,
+                                      SimTime server_time, bool dropped) {
+  const SimTime now2 = events_.now();
+  const bool measured = now2 >= effective_warmup();
+  if (measured && !dropped) {
+    network_latency_.add(net_total);
+    server_latency_.add(server_time);
+    ++subqueries_done_;
+  }
+  const auto entry = inflight_.find(query);
+  if (entry == inflight_.end()) return;
+  if (measured) {
+    const SimTime sub_e2e = now2 - entry->second.issued;
+    subquery_latency_.add(sub_e2e);
+    if (sub_e2e > config_.latency_constraint) {
+      ++subquery_misses_;
+      // An outage miss: the sub-query was dropped outright, or missed
+      // while at least one failure was outstanding.
+      if (dropped || (faults_ && faults_->overlay().any_failed())) {
+        ++outage_misses_;
+      }
+    }
+  }
+  entry->second.last_reply = now2;
+  if (--entry->second.outstanding == 0) {
+    const SimTime e2e = now2 - entry->second.issued;
+    if (entry->second.issued >= effective_warmup()) {
+      query_latency_.add(e2e);
+      ++queries_done_;
+      if (e2e > config_.latency_constraint) ++query_misses_;
+    }
+    inflight_.erase(entry);
+  }
 }
 
 ClusterMetrics SearchCluster::run() {
@@ -208,6 +311,7 @@ ClusterMetrics SearchCluster::run() {
                              config_.target_utilization);
   const SimTime warmup = effective_warmup();
   schedule_next_arrival();
+  if (faults_) schedule_next_fault();
   events_.run_until(warmup);
   for (auto& server : servers_) server->reset_energy(events_.now());
   events_.run_until(warmup + config_.duration);
@@ -254,6 +358,9 @@ ClusterMetrics SearchCluster::run() {
       isn_count == 0 ? 0.0 : util_total / isn_count;
   metrics.queries_completed = queries_done_;
   metrics.subqueries_completed = subqueries_done_;
+  metrics.flows_rerouted = flows_rerouted_;
+  metrics.subqueries_dropped = subqueries_dropped_;
+  metrics.outage_sla_misses = outage_misses_;
 
   // Aggregated once per run (not per DES event) so the event loop stays
   // untouched; the totals themselves are seed-deterministic.
@@ -270,6 +377,17 @@ ClusterMetrics SearchCluster::run() {
   sim_subqueries.add(static_cast<std::uint64_t>(subqueries_done_));
   sim_query_misses.add(static_cast<std::uint64_t>(query_misses_));
   sim_subquery_misses.add(static_cast<std::uint64_t>(subquery_misses_));
+  if (faults_) {
+    static obs::Counter& sim_rerouted =
+        obs::metrics().counter("fault.flows_rerouted");
+    static obs::Counter& sim_dropped =
+        obs::metrics().counter("fault.flows_dropped");
+    static obs::Counter& sim_outage_misses =
+        obs::metrics().counter("fault.sla_violations_during_outage");
+    sim_rerouted.add(static_cast<std::uint64_t>(flows_rerouted_));
+    sim_dropped.add(static_cast<std::uint64_t>(subqueries_dropped_));
+    sim_outage_misses.add(static_cast<std::uint64_t>(outage_misses_));
+  }
   return metrics;
 }
 
@@ -378,6 +496,7 @@ ScenarioResult run_search_scenario(const Topology& topo,
     inputs.network_power =
         result.placement.active_switches * config.switch_power;
   }
+  inputs.fault_timeline = config.fault_timeline;
 
   SearchCluster cluster(config.cluster, inputs);
   result.metrics = cluster.run();

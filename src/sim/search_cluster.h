@@ -27,6 +27,7 @@
 
 #include "consolidate/consolidation.h"
 #include "dvfs/policies.h"
+#include "fault/fault_injector.h"
 #include "net/path_latency.h"
 #include "power/server_power.h"
 #include "sim/event_queue.h"
@@ -72,6 +73,11 @@ struct SearchClusterConfig {
   double ecn_threshold = 1.0;
   std::size_t ecn_window = 500;
 
+  /// Latency charged to a sub-query issued (or replied) while its flow has
+  /// no surviving path: the query times out and is retried out-of-band.
+  /// 0 means 2 x latency_constraint (always an SLA miss).
+  SimTime fault_drop_penalty = 0.0;
+
   SimTime warmup = sec(2.0);
   SimTime duration = sec(20.0);
   /// Feedback policies converge slowly (TimeTrader adjusts every 5 s);
@@ -99,6 +105,11 @@ struct SearchClusterInputs {
   /// Network power reported in metrics (computed by the caller from the
   /// placement and switch power model).
   Power network_power = 0.0;
+  /// Optional fault timeline (from generate_fault_schedule) replayed
+  /// inside the DES: query flows crossing failed elements are rerouted
+  /// onto surviving paths of the active subnet, or dropped when none
+  /// exists. Null = healthy run (bit-identical to pre-fault behavior).
+  const std::vector<FaultTransition>* fault_timeline = nullptr;
 };
 
 class SearchCluster {
@@ -125,6 +136,16 @@ class SearchCluster {
   Path path_for(FlowId flow) const;
   SimTime effective_warmup() const;
 
+  /// Reply-arrival bookkeeping shared by real replies and fault drops.
+  void complete_subquery(RequestId query, SimTime net_total,
+                         SimTime server_time, bool dropped);
+  /// The flow's current path: its fault-reroute override, else the plan's.
+  const Path& effective_path(FlowId flow) const;
+  /// Re-derives per-flow routes/down flags from the current overlay state.
+  void recompute_query_paths();
+  void schedule_next_fault();
+  SimTime drop_penalty() const;
+
   /// Serialization delay of one reply crossing the aggregator's edge
   /// downlink, accounting for residual capacity after background load.
   SimTime reply_transmission_time() const;
@@ -140,6 +161,15 @@ class SearchCluster {
   RequestId next_query_ = 0;
   RequestId next_subrequest_ = 0;
   std::unordered_map<RequestId, PendingQuery> inflight_;
+
+  // Fault replay state (unused when inputs.fault_timeline is null).
+  std::unique_ptr<FaultCursor> faults_;
+  std::unordered_map<FlowId, Path> path_override_;
+  std::vector<char> request_down_;  // by host id
+  std::vector<char> reply_down_;
+  std::size_t flows_rerouted_ = 0;
+  std::size_t subqueries_dropped_ = 0;
+  std::size_t outage_misses_ = 0;
 
   SimTime agg_downlink_busy_until_ = 0.0;
   static constexpr std::size_t kEcnCheckStride = 128;
@@ -171,6 +201,9 @@ struct ScenarioConfig {
   Bandwidth query_reply_demand = 20.0;
   /// Per-switch power for metrics, W.
   Power switch_power = 36.0;
+  /// Optional fault timeline replayed inside the DES (see
+  /// SearchClusterInputs::fault_timeline). Must outlive the run.
+  const std::vector<FaultTransition>* fault_timeline = nullptr;
 };
 
 struct ScenarioResult {

@@ -91,7 +91,14 @@ std::vector<LinkId> Graph::path_links(const Path& path) const {
 
 bool Graph::connected(NodeId source, const std::vector<NodeId>& targets,
                       const std::vector<bool>& switch_on) const {
+  return connected(source, targets, switch_on, nullptr);
+}
+
+bool Graph::connected(NodeId source, const std::vector<NodeId>& targets,
+                      const std::vector<bool>& switch_on,
+                      const FailureOverlay* overlay) const {
   auto node_up = [&](NodeId id) {
+    if (overlay && overlay->node_failed(id)) return false;
     const Node& n = node(id);
     if (!is_switch_type(n.type)) return true;
     return static_cast<std::size_t>(id) < switch_on.size() &&
@@ -106,6 +113,7 @@ bool Graph::connected(NodeId source, const std::vector<NodeId>& targets,
     const NodeId u = frontier.front();
     frontier.pop_front();
     for (LinkId lid : links_of(u)) {
+      if (overlay && overlay->link_down(lid)) continue;
       const NodeId v = other_end(lid, u);
       if (seen[static_cast<std::size_t>(v)] || !node_up(v)) continue;
       seen[static_cast<std::size_t>(v)] = true;
@@ -116,6 +124,89 @@ bool Graph::connected(NodeId source, const std::vector<NodeId>& targets,
     if (!seen[static_cast<std::size_t>(t)]) return false;
   }
   return true;
+}
+
+FailureOverlay::FailureOverlay(const Graph* graph)
+    : graph_(graph),
+      node_fail_count_(graph->num_nodes(), 0),
+      link_fail_count_(graph->num_links(), 0) {}
+
+void FailureOverlay::fail_node(NodeId id) {
+  if (++node_fail_count_[static_cast<std::size_t>(id)] == 1) ++failed_nodes_;
+}
+
+void FailureOverlay::repair_node(NodeId id) {
+  int& count = node_fail_count_[static_cast<std::size_t>(id)];
+  if (count == 0) return;  // repair without a matching failure: no-op
+  if (--count == 0) --failed_nodes_;
+}
+
+void FailureOverlay::fail_link(LinkId id) {
+  if (++link_fail_count_[static_cast<std::size_t>(id)] == 1) ++failed_links_;
+}
+
+void FailureOverlay::repair_link(LinkId id) {
+  int& count = link_fail_count_[static_cast<std::size_t>(id)];
+  if (count == 0) return;
+  if (--count == 0) --failed_links_;
+}
+
+void FailureOverlay::clear() {
+  std::fill(node_fail_count_.begin(), node_fail_count_.end(), 0);
+  std::fill(link_fail_count_.begin(), link_fail_count_.end(), 0);
+  failed_nodes_ = 0;
+  failed_links_ = 0;
+}
+
+bool FailureOverlay::node_failed(NodeId id) const {
+  return static_cast<std::size_t>(id) < node_fail_count_.size() &&
+         node_fail_count_[static_cast<std::size_t>(id)] > 0;
+}
+
+bool FailureOverlay::link_failed(LinkId id) const {
+  return static_cast<std::size_t>(id) < link_fail_count_.size() &&
+         link_fail_count_[static_cast<std::size_t>(id)] > 0;
+}
+
+bool FailureOverlay::link_down(LinkId id) const {
+  if (link_failed(id)) return true;
+  const Link& l = graph_->link(id);
+  return node_failed(l.a) || node_failed(l.b);
+}
+
+int FailureOverlay::down_links() const {
+  int down = 0;
+  for (const Link& l : graph_->links()) {
+    if (link_down(l.id)) ++down;
+  }
+  return down;
+}
+
+bool FailureOverlay::blocks(const Path& path) const {
+  if (!any_failed()) return false;
+  for (NodeId n : path) {
+    if (node_failed(n)) return true;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (link_down(graph_->find_link(path[i], path[i + 1]))) return true;
+  }
+  return false;
+}
+
+std::vector<bool> FailureOverlay::surviving_switches() const {
+  std::vector<bool> mask(graph_->num_nodes(), false);
+  for (const Node& n : graph_->nodes()) {
+    mask[static_cast<std::size_t>(n.id)] = !node_failed(n.id);
+  }
+  return mask;
+}
+
+std::vector<bool> FailureOverlay::down_link_mask() const {
+  std::vector<bool> mask(graph_->num_links(), false);
+  for (const Link& l : graph_->links()) {
+    mask[static_cast<std::size_t>(l.id)] = link_down(l.id);
+  }
+  return mask;
 }
 
 }  // namespace eprons

@@ -226,6 +226,126 @@ TEST(ArcLp, InfeasibleDetected) {
   EXPECT_EQ(bound.status, lp::SolveStatus::Infeasible);
 }
 
+// Differential harness: on seeded random instances — healthy and degraded
+// (one agg + one core switch disallowed, one fabric link blocked, the shape
+// the fault-recovery path feeds the consolidators) — greedy and MILP must
+// both produce capacity-respecting, connected placements, with the greedy
+// objective within a bounded factor of the exact optimum.
+struct DifferentialStats {
+  int compared = 0;
+  double worst_ratio = 1.0;
+};
+
+void check_placement_valid(const Graph& g, const FlowSet& flows,
+                           const ConsolidationConfig& config,
+                           const ConsolidationResult& result,
+                           const char* tag) {
+  LinkUtilization scaled(&g);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Path& path = result.flow_paths[i];
+    ASSERT_GE(path.size(), 2u) << tag << " flow " << i;
+    // Connected: consecutive hops are adjacent, all switches powered,
+    // none disallowed, no hop over a blocked link.
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const LinkId link = g.find_link(path[h], path[h + 1]);
+      ASSERT_NE(link, kInvalidLink) << tag << " flow " << i << " hop " << h;
+      if (!config.blocked_links.empty()) {
+        EXPECT_FALSE(config.blocked_links[static_cast<std::size_t>(link)])
+            << tag << " flow " << i << " crosses blocked link " << link;
+      }
+    }
+    for (const NodeId n : path) {
+      if (!g.is_switch(n)) continue;
+      EXPECT_TRUE(result.switch_on[static_cast<std::size_t>(n)])
+          << tag << " flow " << i << " uses powered-off switch " << n;
+      if (!config.allowed_switches.empty()) {
+        EXPECT_TRUE(config.allowed_switches[static_cast<std::size_t>(n)])
+            << tag << " flow " << i << " uses disallowed switch " << n;
+      }
+    }
+    scaled.add_path_load(path, flows[i].scaled_demand(config.scale_factor_k));
+  }
+  EXPECT_LE(scaled.max_utilization(), 0.95 + 1e-9) << tag;
+}
+
+DifferentialStats run_differential(bool degraded, int trials) {
+  const FatTree ft(4);
+  const Graph& g = ft.graph();
+  const MilpConsolidator milp(&ft);
+  const GreedyConsolidator greedy(&ft);
+  DifferentialStats stats;
+  Rng rng(degraded ? 211 : 101);
+  for (int trial = 0; trial < trials; ++trial) {
+    FlowSet flows;
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < n; ++i) {
+      const int src = static_cast<int>(rng.uniform_int(0, 15));
+      int dst = src;
+      while (dst == src) dst = static_cast<int>(rng.uniform_int(0, 15));
+      flows.add(src, dst, rng.uniform(20.0, 250.0),
+                rng.bernoulli(0.5) ? FlowClass::LatencySensitive
+                                   : FlowClass::LatencyTolerant);
+    }
+    ConsolidationConfig config = fig2_config(1.0);
+    if (degraded) {
+      // Knock out one aggregation switch, one core switch, and one fabric
+      // link — chosen per-trial, like a FailureOverlay would report.
+      std::vector<NodeId> aggs, cores;
+      for (const Node& node : g.nodes()) {
+        if (node.type == NodeType::AggSwitch) aggs.push_back(node.id);
+        if (node.type == NodeType::CoreSwitch) cores.push_back(node.id);
+      }
+      config.allowed_switches.assign(g.num_nodes(), true);
+      const NodeId dead_agg = aggs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(aggs.size()) - 1))];
+      const NodeId dead_core = cores[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cores.size()) - 1))];
+      config.allowed_switches[static_cast<std::size_t>(dead_agg)] = false;
+      config.allowed_switches[static_cast<std::size_t>(dead_core)] = false;
+      config.blocked_links.assign(g.num_links(), false);
+      std::vector<LinkId> fabric;
+      for (const Link& l : g.links()) {
+        if (g.is_switch(l.a) && g.is_switch(l.b)) fabric.push_back(l.id);
+      }
+      config.blocked_links[static_cast<std::size_t>(
+          fabric[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(fabric.size()) - 1))])] = true;
+    }
+
+    const auto exact = milp.consolidate(flows, config);
+    const auto heur = greedy.consolidate(flows, config);
+    // Feasibility must agree in the easy direction: if the exact solver
+    // found nothing, the heuristic cannot claim success on valid paths.
+    if (!exact.feasible || !heur.feasible) continue;
+    check_placement_valid(g, flows, config, exact, "milp");
+    check_placement_valid(g, flows, config, heur, "greedy");
+    EXPECT_GE(heur.network_power, exact.network_power - 1e-9)
+        << "trial " << trial;
+    EXPECT_GT(exact.network_power, 0.0) << "trial " << trial;
+    if (exact.network_power <= 0.0) continue;
+    const double ratio = heur.network_power / exact.network_power;
+    EXPECT_LE(ratio, 2.0) << "trial " << trial << " greedy "
+                          << heur.network_power << " W vs milp "
+                          << exact.network_power << " W";
+    stats.worst_ratio = std::max(stats.worst_ratio, ratio);
+    ++stats.compared;
+  }
+  return stats;
+}
+
+// 50 seeded scenarios split across the two regimes (the healthy MILP
+// instances dominate the runtime; the degraded ones prune fast).
+TEST(Differential, GreedyWithinBoundedFactorOfMilpHealthy) {
+  const DifferentialStats stats = run_differential(/*degraded=*/false, 25);
+  // Random instances are occasionally infeasible; most must compare.
+  EXPECT_GE(stats.compared, 17);
+}
+
+TEST(Differential, GreedyWithinBoundedFactorOfMilpDegraded) {
+  const DifferentialStats stats = run_differential(/*degraded=*/true, 25);
+  EXPECT_GE(stats.compared, 12);
+}
+
 TEST(ConsolidationResult, OfferedLoadUsesUnscaledDemand) {
   const FatTree ft(4);
   const GreedyConsolidator greedy(&ft);

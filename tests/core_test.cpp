@@ -4,11 +4,15 @@
 // trace generation / replay plumbing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/epoch_controller.h"
 #include "core/joint_optimizer.h"
 #include "core/server_power_predictor.h"
 #include "core/slack_estimator.h"
 #include "core/trace_replay.h"
 #include "dvfs/synthetic_workload.h"
+#include "fault/fault_injector.h"
 #include "obs/telemetry.h"
 #include "trace/diurnal.h"
 
@@ -331,41 +335,68 @@ TEST(TraceReplay, SchemeNames) {
   EXPECT_STREQ(scheme_name(Scheme::Eprons), "eprons");
 }
 
-TraceReplayConfig fast_replay_config() {
-  TraceReplayConfig config;
-  config.calibration_shapes = {0.0, 1.0};
-  config.scenario.cluster.warmup = sec(0.3);
-  config.scenario.cluster.duration = sec(1.5);
-  config.scenario.cluster.feedback_warmup = sec(40.0);
-  config.joint.slack.samples_per_pair = 100;
-  return config;
-}
-
-TEST(TraceReplay, NoPmSeriesCoversWholeDay) {
+TEST(EpochController, InvariantsHoldUnderFailureStorm) {
+  // Property test: whatever a dense fault storm does to the fabric, every
+  // epoch report keeps the controller's core invariants — lingering
+  // backups mean actual >= wanted switches, the scale factor never drops
+  // below 1, predicted power stays finite, and the active mask is never
+  // disconnected while a connected surviving subnet exists.
   const FatTree topo(4);
+  const Graph& g = topo.graph();
   const ServiceModel model = core_model();
   const ServerPowerModel power;
-  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
-  const ReplayResult result = replay.replay(Scheme::NoPowerManagement);
-  EXPECT_EQ(result.series.size(), 1440u);
-  EXPECT_GT(result.average_total_power, 0.0);
-  // No-PM network power is the full fabric at all times.
-  for (const MinutePower& m : result.series) {
-    EXPECT_DOUBLE_EQ(m.network_power, 20 * 36.0);
+  EpochControllerConfig config;
+  config.joint.slack.samples_per_pair = 60;
+  config.samples_per_epoch = 40;
+  config.transition.linger_epochs = 1;
+  EpochController controller(&topo, &model, &power, config);
+
+  FaultInjectorConfig faults;
+  faults.mtbf = sec(40.0);  // storm: many overlapping outages
+  faults.mttr = sec(120.0);
+  faults.horizon = 6 * sec(600.0);
+  faults.seed = 3;
+  const FaultSchedule schedule = generate_fault_schedule(g, faults);
+  ASSERT_GT(schedule.events.size(), 20u);
+  FaultCursor cursor(&g, &schedule.timeline);
+
+  FlowGenConfig gen;
+  gen.exclude_host = 0;
+  Rng flows_rng(5);
+  const FlowSet background =
+      make_background_flows(gen, 6, 0.2, 0.1, flows_rng);
+  const std::vector<NodeId> hosts = g.hosts();
+  const std::vector<NodeId> targets(hosts.begin() + 1, hosts.end());
+  const std::vector<bool> all_on(g.num_nodes(), true);
+
+  Rng rng(17);
+  for (int e = 0; e < 6; ++e) {
+    const EpochReport report = controller.run_epoch(background, 0.25, rng);
+    EXPECT_GE(report.actual_switches, report.wanted_switches) << "epoch " << e;
+    EXPECT_GE(report.chosen_k, 1.0) << "epoch " << e;
+    EXPECT_TRUE(std::isfinite(report.predicted_total)) << "epoch " << e;
+    if (g.connected(hosts[0], targets, all_on, &cursor.overlay())) {
+      EXPECT_TRUE(g.connected(hosts[0], targets, controller.current_mask(),
+                              &cursor.overlay()))
+          << "epoch " << e << ": active mask disconnected";
+    }
+
+    const SimTime epoch_end = (e + 1) * sec(600.0);
+    while (!cursor.exhausted() && cursor.next_time() <= epoch_end) {
+      cursor.advance_to(cursor.next_time());
+      const RecoveryReport r = controller.on_failure(cursor.overlay());
+      if (r.replanned) EXPECT_GE(r.chosen_k, 1.0) << "epoch " << e;
+      EXPECT_GE(r.time_to_replan, 0.0);
+      EXPECT_GE(r.emergency_boots, 0);
+      EXPECT_TRUE(std::isfinite(r.estimated_outage_violations));
+      EXPECT_GE(r.estimated_outage_violations, 0.0);
+      if (r.connected) {
+        EXPECT_TRUE(g.connected(hosts[0], targets, controller.current_mask(),
+                                &cursor.overlay()))
+            << "epoch " << e << ": recovery left hosts disconnected";
+      }
+    }
   }
-}
-
-TEST(TraceReplay, EpronsSavesVsNoPm) {
-  const FatTree topo(4);
-  const ServiceModel model = core_model();
-  const ServerPowerModel power;
-  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
-  const ReplayResult base = replay.replay(Scheme::NoPowerManagement);
-  const ReplayResult eprons = replay.replay(Scheme::Eprons);
-  const auto savings = TraceReplay::savings(base, eprons);
-  EXPECT_GT(savings.total_pct, 5.0);
-  EXPECT_GT(savings.network_pct, 0.0);
-  EXPECT_GE(savings.peak_total_pct, savings.total_pct);
 }
 
 }  // namespace

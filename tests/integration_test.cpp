@@ -5,6 +5,7 @@
 
 #include "consolidate/milp_consolidator.h"
 #include "core/epoch_controller.h"
+#include "core/trace_replay.h"
 #include "dvfs/synthetic_workload.h"
 #include "sim/search_cluster.h"
 #include "topo/aggregation.h"
@@ -171,6 +172,45 @@ TEST(Integration, PolicyOrderingHoldsAtHighLoad) {
   const double p_eprons = cpu("eprons");
   EXPECT_LT(p_rubik, p_max * 0.85);
   EXPECT_LE(p_eprons, p_rubik * 1.02);  // at worst within noise of rubik
+}
+
+// Whole-day trace replays (moved out of core_test so `ctest -L unit`
+// stays fast; these each replay 1440 minutes of the diurnal trace).
+TraceReplayConfig fast_replay_config() {
+  TraceReplayConfig config;
+  config.calibration_shapes = {0.0, 1.0};
+  config.scenario.cluster.warmup = sec(0.3);
+  config.scenario.cluster.duration = sec(1.5);
+  config.scenario.cluster.feedback_warmup = sec(40.0);
+  config.joint.slack.samples_per_pair = 100;
+  return config;
+}
+
+TEST(TraceReplay, NoPmSeriesCoversWholeDay) {
+  const FatTree topo(4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
+  const ReplayResult result = replay.replay(Scheme::NoPowerManagement);
+  EXPECT_EQ(result.series.size(), 1440u);
+  EXPECT_GT(result.average_total_power, 0.0);
+  // No-PM network power is the full fabric at all times.
+  for (const MinutePower& m : result.series) {
+    EXPECT_DOUBLE_EQ(m.network_power, 20 * 36.0);
+  }
+}
+
+TEST(TraceReplay, EpronsSavesVsNoPm) {
+  const FatTree topo(4);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  const TraceReplay replay(&topo, &model, &power, fast_replay_config());
+  const ReplayResult base = replay.replay(Scheme::NoPowerManagement);
+  const ReplayResult eprons = replay.replay(Scheme::Eprons);
+  const auto savings = TraceReplay::savings(base, eprons);
+  EXPECT_GT(savings.total_pct, 5.0);
+  EXPECT_GT(savings.network_pct, 0.0);
+  EXPECT_GE(savings.peak_total_pct, savings.total_pct);
 }
 
 }  // namespace

@@ -19,20 +19,27 @@
 
 namespace eprons {
 
+/// Outcome of solving the continuous arc-LP relaxation.
 struct ArcLpResult {
+  /// Simplex outcome; the bound below is meaningful only on Optimal.
   lp::SolveStatus status = lp::SolveStatus::Infeasible;
   /// Lower bound on network power (switch + link objective terms only).
   Power network_power_bound = 0.0;
   /// Relaxed activation levels, for diagnostics.
   std::vector<double> switch_activation;  // NodeId-indexed, 0..1
+  /// Model size, for the paper's "exact is too slow" scaling story.
   int num_variables = 0;
   int num_rows = 0;
 };
 
+/// Builds and solves the relaxed eqs. (2)-(8) model on a fixed topology.
 class ArcLpRelaxation {
  public:
+  /// `topo` must outlive the relaxation (not owned).
   explicit ArcLpRelaxation(const Topology* topo);
 
+  /// Solves the relaxation for `flows` at config's scale factor K;
+  /// returns the network-power lower bound and per-switch activations.
   ArcLpResult solve(const FlowSet& flows,
                     const ConsolidationConfig& config) const;
 

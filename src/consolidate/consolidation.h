@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "flow/demand_delta.h"
 #include "flow/flow.h"
 #include "net/link_utilization.h"
 #include "power/switch_power.h"
@@ -53,11 +54,44 @@ struct ConsolidationResult {
   int active_links = 0;
   /// Network part of the objective: switches + links, W.
   Power network_power = 0.0;
+  /// True when this result came out of the incremental (warm-started)
+  /// path of consolidate_incremental — false for cold packs, including a
+  /// warm call that fell back to a full re-pack (see WarmStartHint).
+  bool warm_started = false;
 
   /// Builds per-link offered load from the *unscaled* flow demands routed
   /// on the chosen paths (K reserves capacity; actual traffic is 1x).
   LinkUtilization offered_load(const Graph& graph,
                                const FlowSet& flows) const;
+};
+
+/// Warm-start hint for consolidate_incremental: the previous epoch's flow
+/// set and the placement chosen for it. Implementations diff the new
+/// demands against `previous_flows` (see flow/demand_delta.h) and reuse
+/// the previous routing for clean flows, re-packing only the dirty ones.
+///
+/// The hint is advisory: a consolidator may ignore it (the default falls
+/// back to a cold pack), and must fall back to a cold pack whenever the
+/// incremental result would regress beyond `max_extra_switches`
+/// newly-activated switches over the previous plan — the configurable
+/// regression bound that keeps incremental plan quality pinned to the
+/// cold planner's.
+struct WarmStartHint {
+  /// The flow set the previous placement routed. Must be non-null and
+  /// index-aligned with `previous->flow_paths` for the hint to apply.
+  const FlowSet* previous_flows = nullptr;
+  /// The previous epoch's placement (any feasible ConsolidationResult).
+  const ConsolidationResult* previous = nullptr;
+  /// Regression bound: the incremental plan may activate at most this
+  /// many switches beyond the previous plan's count before the
+  /// consolidator abandons it for a full cold re-pack.
+  int max_extra_switches = 2;
+
+  /// True when the hint carries enough state to warm-start from.
+  bool usable() const {
+    return previous_flows != nullptr && previous != nullptr &&
+           previous->flow_paths.size() == previous_flows->size();
+  }
 };
 
 /// Abstract consolidation strategy, mirroring the `Topology` interface:
@@ -75,6 +109,19 @@ class Consolidator {
   virtual ConsolidationResult consolidate(
       const Topology& topo, const FlowSet& flows,
       const ConsolidationConfig& config) const = 0;
+
+  /// Warm-started consolidation: like consolidate(), but may reuse the
+  /// previous epoch's routing for flows the demand delta left untouched.
+  /// The returned plan must satisfy exactly the same constraints as a
+  /// cold pack (safety margin, allowed switches, blocked links); only the
+  /// work done — and, within the regression bound, the chosen paths — may
+  /// differ. The base implementation ignores the hint.
+  virtual ConsolidationResult consolidate_incremental(
+      const Topology& topo, const FlowSet& flows,
+      const ConsolidationConfig& config, const WarmStartHint* warm) const {
+    (void)warm;
+    return consolidate(topo, flows, config);
+  }
 
   /// Stable identifier for tables and logs ("greedy", "milp", ...).
   virtual const char* name() const = 0;

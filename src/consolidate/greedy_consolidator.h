@@ -55,6 +55,19 @@ class GreedyConsolidator : public Consolidator {
   ConsolidationResult consolidate(
       const Topology& topo, const FlowSet& flows,
       const ConsolidationConfig& config) const override;
+
+  /// Incremental pack: keeps the previous routing for flows the demand
+  /// delta left clean (as long as the inherited path is still legal and
+  /// fits at the new scaled demand) and re-packs only dirty flows.
+  /// Falls back to a full cold re-pack when the incremental plan would
+  /// overflow or activate more than `warm->max_extra_switches` switches
+  /// beyond the previous plan (the regression bound), logging the
+  /// fallback and counting it in `consolidate.warm_fallbacks`.
+  ConsolidationResult consolidate_incremental(
+      const Topology& topo, const FlowSet& flows,
+      const ConsolidationConfig& config,
+      const WarmStartHint* warm) const override;
+
   const char* name() const override { return "greedy"; }
 
   /// Convenience form bound to the constructor topology.

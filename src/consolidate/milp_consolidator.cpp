@@ -6,55 +6,37 @@
 #include <vector>
 
 #include "obs/telemetry.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace eprons {
 
-MilpConsolidator::MilpConsolidator(const Topology* topo,
-                                   MilpConsolidatorOptions options)
-    : topo_(topo), options_(options) {}
+namespace {
 
-ConsolidationResult MilpConsolidator::consolidate(
-    const FlowSet& flows, const ConsolidationConfig& config) const {
-  return consolidate(*topo_, flows, config);
-}
+// The path-formulation MILP plus the variable maps needed to seed or
+// extract a solution. Built identically by the cold and warm paths so a
+// warm incumbent lines up with the model's variable order.
+struct PathMilp {
+  lp::Model model{lp::Sense::Minimize};
+  std::vector<int> y_var;                  // per NodeId (-1 for hosts)
+  std::vector<int> x_var;                  // per LinkId
+  std::vector<std::vector<int>> z_vars;    // per flow, per candidate path
+  std::vector<std::vector<Path>> flow_paths;
+};
 
-ConsolidationResult MilpConsolidator::consolidate(
-    const Topology& topo, const FlowSet& flows,
-    const ConsolidationConfig& config) const {
-  const obs::ScopedSpan span(obs::tracer(), "consolidate_milp", "planner",
-                             "k", config.scale_factor_k);
-  static obs::Counter& calls =
-      obs::metrics().counter("consolidate.milp_calls");
-  static obs::Counter& nodes =
-      obs::metrics().counter("consolidate.milp_nodes");
-  calls.add();
-
+PathMilp build_path_milp(const Topology& topo, const FlowSet& flows,
+                         const ConsolidationConfig& config) {
   const Graph& graph = topo.graph();
-  ConsolidationResult result;
-  result.switch_on.assign(graph.num_nodes(), false);
-  result.link_on.assign(graph.num_links(), false);
-  for (const Node& n : graph.nodes()) {
-    if (n.type == NodeType::Host) {
-      result.switch_on[static_cast<std::size_t>(n.id)] = true;
-    }
-  }
-  if (flows.empty()) {
-    result.feasible = true;
-    result.flow_paths.clear();
-    finalize_result(graph, config, result);
-    return result;
-  }
-
-  lp::Model model(lp::Sense::Minimize);
+  PathMilp milp;
+  lp::Model& model = milp.model;
 
   // Y_u per switch, X_l per link.
-  std::vector<int> y_var(graph.num_nodes(), -1);
+  milp.y_var.assign(graph.num_nodes(), -1);
   for (const Node& n : graph.nodes()) {
     if (is_switch_type(n.type)) {
       const int y = model.add_binary(strformat("Y_%s", n.name.c_str()),
                                      config.switch_power);
-      y_var[static_cast<std::size_t>(n.id)] = y;
+      milp.y_var[static_cast<std::size_t>(n.id)] = y;
       // Subnet restriction: pin disallowed switches off.
       if (!config.allowed_switches.empty() &&
           !config.allowed_switches[static_cast<std::size_t>(n.id)]) {
@@ -62,15 +44,15 @@ ConsolidationResult MilpConsolidator::consolidate(
       }
     }
   }
-  std::vector<int> x_var(graph.num_links(), -1);
+  milp.x_var.assign(graph.num_links(), -1);
   for (const Link& l : graph.links()) {
-    x_var[static_cast<std::size_t>(l.id)] =
+    milp.x_var[static_cast<std::size_t>(l.id)] =
         model.add_binary(strformat("X_%d", l.id), config.link_power);
     // Fault overlay: pin down links off. Capacity rows (and the z<=x rows
     // for zero-demand flows) then exclude every path crossing them.
     if (!config.blocked_links.empty() &&
         config.blocked_links[static_cast<std::size_t>(l.id)]) {
-      model.variable(x_var[static_cast<std::size_t>(l.id)]).upper = 0.0;
+      model.variable(milp.x_var[static_cast<std::size_t>(l.id)]).upper = 0.0;
     }
     // Eq. (7): a link can only be on if both switch endpoints are on.
     for (NodeId end : {l.a, l.b}) {
@@ -78,8 +60,8 @@ ConsolidationResult MilpConsolidator::consolidate(
         model.add_row(strformat("link%d_needs_%s", l.id,
                                 graph.node(end).name.c_str()),
                       lp::RowType::LessEqual, 0.0,
-                      {{x_var[static_cast<std::size_t>(l.id)], 1.0},
-                       {y_var[static_cast<std::size_t>(end)], -1.0}});
+                      {{milp.x_var[static_cast<std::size_t>(l.id)], 1.0},
+                       {milp.y_var[static_cast<std::size_t>(end)], -1.0}});
       }
     }
   }
@@ -87,23 +69,23 @@ ConsolidationResult MilpConsolidator::consolidate(
   // Z_{i,p} per flow path, and per-directed-arc demand accumulation.
   // Directed arc key: (link id, forward?) where forward means a->b.
   std::map<std::pair<LinkId, bool>, std::vector<lp::RowEntry>> arc_demand;
-  std::vector<std::vector<int>> z_vars(flows.size());
-  std::vector<std::vector<Path>> flow_paths(flows.size());
+  milp.z_vars.resize(flows.size());
+  milp.flow_paths.resize(flows.size());
 
   // As in the greedy heuristic, K reserves fabric headroom only: arcs
   // touching a host are charged the unscaled demand (no routing choice
   // exists there).
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const Flow& flow = flows[i];
-    flow_paths[i] = topo.all_paths(flow.src_host, flow.dst_host);
+    milp.flow_paths[i] = topo.all_paths(flow.src_host, flow.dst_host);
     const double scaled = flow.scaled_demand(config.scale_factor_k);
     std::vector<lp::RowEntry> choose;
-    for (std::size_t p = 0; p < flow_paths[i].size(); ++p) {
+    for (std::size_t p = 0; p < milp.flow_paths[i].size(); ++p) {
       const int z = model.add_binary(
           strformat("Z_f%zu_p%zu", i, p), 0.0);
-      z_vars[i].push_back(z);
+      milp.z_vars[i].push_back(z);
       choose.push_back({z, 1.0});
-      const Path& path = flow_paths[i][p];
+      const Path& path = milp.flow_paths[i][p];
       for (std::size_t h = 0; h + 1 < path.size(); ++h) {
         const LinkId lid = graph.find_link(path[h], path[h + 1]);
         const bool forward = graph.link(lid).a == path[h];
@@ -118,7 +100,7 @@ ConsolidationResult MilpConsolidator::consolidate(
           model.add_row(strformat("f%zu_p%zu_on_%d", i, p, lid),
                         lp::RowType::LessEqual, 0.0,
                         {{z, 1.0},
-                         {x_var[static_cast<std::size_t>(lid)], -1.0}});
+                         {milp.x_var[static_cast<std::size_t>(lid)], -1.0}});
         }
       }
     }
@@ -133,27 +115,80 @@ ConsolidationResult MilpConsolidator::consolidate(
     const Link& l = graph.link(arc.first);
     const Bandwidth usable = l.capacity - config.safety_margin;
     std::vector<lp::RowEntry> row = entries;
-    row.push_back({x_var[static_cast<std::size_t>(arc.first)], -usable});
+    row.push_back({milp.x_var[static_cast<std::size_t>(arc.first)], -usable});
     model.add_row(strformat("cap_l%d_%c", arc.first, arc.second ? 'f' : 'r'),
                   lp::RowType::LessEqual, 0.0, std::move(row));
   }
+  return milp;
+}
 
-  lp::MilpSolver solver(options_.milp);
-  const lp::Solution sol = solver.solve(model);
-  last_nodes_.store(solver.last_node_count(), std::memory_order_relaxed);
-  nodes.add(static_cast<std::uint64_t>(
-      std::max<long long>(0, solver.last_node_count())));
+/// The previous epoch's integer assignment expressed in this model's
+/// variable order: one Z per flow (the inherited path when the delta left
+/// the flow clean, the leftmost path otherwise), X for every link a chosen
+/// path uses, Y for every switch those links touch. The solver validates
+/// the vector against the model before adopting it, so a hint made stale
+/// by shrunk capacity or pinned-off switches is simply ignored.
+std::vector<double> build_incumbent_hint(const Graph& graph,
+                                         const FlowSet& flows,
+                                         const PathMilp& milp,
+                                         const WarmStartHint& warm) {
+  const DemandDelta delta = diff_demands(*warm.previous_flows, flows);
+  std::vector<bool> dirty(flows.size(), false);
+  for (FlowId i : delta.added) dirty[static_cast<std::size_t>(i)] = true;
+
+  std::vector<double> hint(
+      static_cast<std::size_t>(milp.model.num_variables()), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const std::vector<Path>& candidates = milp.flow_paths[i];
+    if (candidates.empty()) return {};  // model is infeasible anyway
+    std::size_t chosen = 0;
+    if (!dirty[i]) {
+      const Path& previous_path = warm.previous->flow_paths[i];
+      const auto it =
+          std::find(candidates.begin(), candidates.end(), previous_path);
+      if (it != candidates.end()) {
+        chosen = static_cast<std::size_t>(it - candidates.begin());
+      }
+    }
+    hint[static_cast<std::size_t>(milp.z_vars[i][chosen])] = 1.0;
+    const Path& path = candidates[chosen];
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const LinkId lid = graph.find_link(path[h], path[h + 1]);
+      hint[static_cast<std::size_t>(
+          milp.x_var[static_cast<std::size_t>(lid)])] = 1.0;
+      for (NodeId end : {graph.link(lid).a, graph.link(lid).b}) {
+        if (graph.is_switch(end)) {
+          hint[static_cast<std::size_t>(
+              milp.y_var[static_cast<std::size_t>(end)])] = 1.0;
+        }
+      }
+    }
+  }
+  return hint;
+}
+
+ConsolidationResult extract_solution(const Graph& graph, const FlowSet& flows,
+                                     const ConsolidationConfig& config,
+                                     const PathMilp& milp,
+                                     const lp::Solution& sol) {
+  ConsolidationResult result;
+  result.switch_on.assign(graph.num_nodes(), false);
+  result.link_on.assign(graph.num_links(), false);
+  for (const Node& n : graph.nodes()) {
+    if (n.type == NodeType::Host) {
+      result.switch_on[static_cast<std::size_t>(n.id)] = true;
+    }
+  }
   if (!sol.ok()) {
     result.feasible = false;
     return result;
   }
-
   result.feasible = true;
   result.flow_paths.resize(flows.size());
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    for (std::size_t p = 0; p < z_vars[i].size(); ++p) {
-      if (sol.x[static_cast<std::size_t>(z_vars[i][p])] > 0.5) {
-        result.flow_paths[i] = flow_paths[i][p];
+    for (std::size_t p = 0; p < milp.z_vars[i].size(); ++p) {
+      if (sol.x[static_cast<std::size_t>(milp.z_vars[i][p])] > 0.5) {
+        result.flow_paths[i] = milp.flow_paths[i][p];
         break;
       }
     }
@@ -164,6 +199,95 @@ ConsolidationResult MilpConsolidator::consolidate(
     activate_path(graph, path, result);
   }
   finalize_result(graph, config, result);
+  return result;
+}
+
+ConsolidationResult empty_flows_result(const Graph& graph,
+                                       const ConsolidationConfig& config) {
+  ConsolidationResult result;
+  result.switch_on.assign(graph.num_nodes(), false);
+  result.link_on.assign(graph.num_links(), false);
+  for (const Node& n : graph.nodes()) {
+    if (n.type == NodeType::Host) {
+      result.switch_on[static_cast<std::size_t>(n.id)] = true;
+    }
+  }
+  result.feasible = true;
+  result.flow_paths.clear();
+  finalize_result(graph, config, result);
+  return result;
+}
+
+}  // namespace
+
+MilpConsolidator::MilpConsolidator(const Topology* topo,
+                                   MilpConsolidatorOptions options)
+    : topo_(topo), options_(options) {}
+
+ConsolidationResult MilpConsolidator::consolidate(
+    const FlowSet& flows, const ConsolidationConfig& config) const {
+  return consolidate(*topo_, flows, config);
+}
+
+ConsolidationResult MilpConsolidator::consolidate(
+    const Topology& topo, const FlowSet& flows,
+    const ConsolidationConfig& config) const {
+  return solve_impl(topo, flows, config, nullptr);
+}
+
+ConsolidationResult MilpConsolidator::consolidate_incremental(
+    const Topology& topo, const FlowSet& flows,
+    const ConsolidationConfig& config, const WarmStartHint* warm) const {
+  if (warm == nullptr || !warm->usable() || flows.empty()) {
+    return consolidate(topo, flows, config);
+  }
+  return solve_impl(topo, flows, config, warm);
+}
+
+ConsolidationResult MilpConsolidator::solve_impl(
+    const Topology& topo, const FlowSet& flows,
+    const ConsolidationConfig& config, const WarmStartHint* warm) const {
+  const obs::ScopedSpan span(obs::tracer(), "consolidate_milp", "planner",
+                             "k", config.scale_factor_k);
+  static obs::Counter& calls =
+      obs::metrics().counter("consolidate.milp_calls");
+  static obs::Counter& nodes =
+      obs::metrics().counter("consolidate.milp_nodes");
+  static obs::Counter& warm_seeded =
+      obs::metrics().counter("consolidate.milp_warm_seeded");
+  static obs::Counter& warm_rejected =
+      obs::metrics().counter("consolidate.milp_warm_rejected");
+  calls.add();
+
+  const Graph& graph = topo.graph();
+  if (flows.empty()) return empty_flows_result(graph, config);
+
+  const PathMilp milp = build_path_milp(topo, flows, config);
+
+  std::vector<double> hint;
+  if (warm != nullptr) {
+    hint = build_incumbent_hint(graph, flows, milp, *warm);
+  }
+
+  lp::MilpSolver solver(options_.milp);
+  const lp::Solution sol =
+      solver.solve(milp.model, hint.empty() ? nullptr : &hint);
+  last_nodes_.store(solver.last_node_count(), std::memory_order_relaxed);
+  nodes.add(static_cast<std::uint64_t>(
+      std::max<long long>(0, solver.last_node_count())));
+  if (warm != nullptr) {
+    if (solver.last_warm_start_used()) {
+      warm_seeded.add();
+    } else {
+      warm_rejected.add();
+      EPRONS_LOG(Debug) << "milp warm-start incumbent rejected (stale or "
+                           "infeasible under the new demands); cold solve";
+    }
+  }
+
+  ConsolidationResult result = extract_solution(graph, flows, config, milp,
+                                                sol);
+  result.warm_started = warm != nullptr && solver.last_warm_start_used();
   return result;
 }
 

@@ -118,6 +118,16 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
 
   // (ii) Optimize on the predicted demands; while faults are active the
   // search is restricted to the surviving subnet.
+  // The previous epoch's plan warm-starts this one (incremental planning,
+  // when enabled): clean flows keep their routing, only the demand delta is
+  // re-packed. Never under active faults — the constraint overlay changes
+  // what "previous routing" even means there, so the emergency path plans
+  // cold against the surviving subnet.
+  const JointPlan* warm_previous =
+      (have_plan_ && !faults_active_ &&
+       config_.joint.incremental.enabled)
+          ? &last_plan_
+          : nullptr;
   JointPlan plan;
   if (faults_active_) {
     PlanConstraints constraints;
@@ -125,7 +135,8 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
     constraints.blocked_links = active_overlay_.down_link_mask();
     plan = optimizer_->optimize(predicted, utilization, constraints);
   } else {
-    plan = optimizer_->optimize(predicted, utilization);
+    plan = optimizer_->optimize(predicted, utilization, PlanConstraints{},
+                                warm_previous);
   }
   report.chosen_k = plan.k;
   report.feasible = plan.feasible;

@@ -1,6 +1,7 @@
 #include "core/joint_optimizer.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -24,6 +25,11 @@ struct PlannerMetrics {
   obs::Counter& searches = obs::metrics().counter("planner.searches");
   obs::Counter& searches_infeasible =
       obs::metrics().counter("planner.searches_infeasible");
+  obs::Counter& warm_accepts = obs::metrics().counter("planner.warm_accepts");
+  obs::Counter& warm_fallbacks =
+      obs::metrics().counter("planner.warm_fallbacks");
+  obs::Counter& cache_returns =
+      obs::metrics().counter("planner.cache_returns");
   obs::Gauge& chosen_k = obs::metrics().gauge("planner.chosen_k");
   obs::Gauge& chosen_total_w = obs::metrics().gauge("planner.chosen_total_w");
   obs::Histogram& slack_p95 =
@@ -48,7 +54,10 @@ JointOptimizer::JointOptimizer(const Topology* topo,
       service_model_(service_model),
       power_model_(power_model),
       config_(std::move(config)),
-      consolidator_(consolidator ? consolidator : &default_consolidator_) {
+      consolidator_(consolidator ? consolidator : &default_consolidator_),
+      plan_cache_(config_.incremental.enabled
+                      ? config_.incremental.plan_cache_capacity
+                      : 0) {
   if (config_.runtime.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.runtime.threads);
   }
@@ -57,13 +66,15 @@ JointOptimizer::JointOptimizer(const Topology* topo,
 JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
                                      double utilization, double k) const {
   return plan_impl(background, utilization, k, pool_.get(),
-                   /*serial_slack=*/false, /*constraints=*/nullptr);
+                   /*serial_slack=*/false, /*constraints=*/nullptr,
+                   /*warm=*/nullptr);
 }
 
 JointPlan JointOptimizer::plan_impl(const FlowSet& background,
                                     double utilization, double k,
                                     ThreadPool* slack_pool, bool serial_slack,
-                                    const PlanConstraints* constraints) const {
+                                    const PlanConstraints* constraints,
+                                    const WarmStartHint* warm) const {
   const obs::ScopedSpan span(obs::tracer(), "plan_k", "planner", "k", k);
   PlannerMetrics& pm = PlannerMetrics::get();
   pm.candidates.add();
@@ -100,8 +111,11 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
       consolidation.blocked_links = constraints->blocked_links;
     }
   }
-  plan.placement = consolidator_->consolidate(*topo_, plan.flows,
-                                              consolidation);
+  plan.placement =
+      warm != nullptr
+          ? consolidator_->consolidate_incremental(*topo_, plan.flows,
+                                                   consolidation, warm)
+          : consolidator_->consolidate(*topo_, plan.flows, consolidation);
   plan.network_power = plan.placement.network_power;
 
   // A margin-violating placement is never SLA-feasible, but it still has
@@ -173,6 +187,81 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
 JointPlan JointOptimizer::optimize(const FlowSet& background,
                                    double utilization,
                                    const PlanConstraints& constraints) const {
+  return optimize(background, utilization, constraints, nullptr);
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization,
+                                   const PlanConstraints& constraints,
+                                   const JointPlan* previous) const {
+  if (!config_.incremental.enabled) {
+    return cold_search(background, utilization, constraints, nullptr);
+  }
+
+  PlannerMetrics& pm = PlannerMetrics::get();
+  const std::uint64_t demand_fp = demand_fingerprint(background);
+  const std::uint64_t constraint_fp = fingerprint_constraints(
+      constraints.allowed_switches, constraints.blocked_links,
+      constraints.k_min);
+  const PlanCacheKey base_key =
+      make_plan_cache_key(demand_fp, constraint_fp, 0.0, utilization);
+
+  const double k_floor = std::max(config_.k_min, constraints.k_min);
+  const bool warm_eligible =
+      previous != nullptr && previous->feasible &&
+      previous->k >= k_floor - 1e-9 && previous->k <= config_.k_max + 1e-9;
+  if (warm_eligible) {
+    const obs::ScopedSpan span(obs::tracer(), "k_search_warm", "planner",
+                               "utilization", utilization);
+    const PlanCacheKey key = make_plan_cache_key(demand_fp, constraint_fp,
+                                                 previous->k, utilization);
+    JointPlan cached;
+    if (plan_cache_.find(key, &cached) && cached.feasible) {
+      pm.searches.add();
+      pm.cache_returns.add();
+      pm.chosen_k.set(cached.k);
+      pm.chosen_total_w.set(cached.total_power);
+      EPRONS_LOG(Info) << "k-search (warm): cache hit for K=" << cached.k
+                       << " (" << cached.total_power << " W predicted total)";
+      return cached;
+    }
+
+    const bool constrained = !constraints.allowed_switches.empty() ||
+                             !constraints.blocked_links.empty() ||
+                             constraints.k_min > 0.0;
+    WarmStartHint hint;
+    hint.previous_flows = &previous->flows;
+    hint.previous = &previous->placement;
+    hint.max_extra_switches = config_.incremental.max_extra_switches;
+    JointPlan plan = plan_impl(background, utilization, previous->k,
+                               pool_.get(), /*serial_slack=*/false,
+                               constrained ? &constraints : nullptr, &hint);
+    if (plan.feasible) {
+      pm.searches.add();
+      pm.warm_accepts.add();
+      plan_cache_.insert(key, plan);
+      pm.chosen_k.set(plan.k);
+      pm.chosen_total_w.set(plan.total_power);
+      EPRONS_LOG(Info) << "k-search (warm): kept K=" << plan.k << " ("
+                       << plan.placement.active_switches << " switches, "
+                       << plan.total_power << " W predicted total, "
+                       << (plan.placement.warm_started ? "incremental"
+                                                       : "cold")
+                       << " pack); full sweep skipped";
+      return plan;
+    }
+    pm.warm_fallbacks.add();
+    EPRONS_LOG(Info) << "k-search (warm): previous K=" << previous->k
+                     << " no longer feasible; falling back to the cold "
+                        "full sweep";
+  }
+  return cold_search(background, utilization, constraints, &base_key);
+}
+
+JointPlan JointOptimizer::cold_search(const FlowSet& background,
+                                      double utilization,
+                                      const PlanConstraints& constraints,
+                                      const PlanCacheKey* cache_key) const {
   const obs::ScopedSpan span(obs::tracer(), "k_search", "planner",
                              "utilization", utilization);
   PlannerMetrics& pm = PlannerMetrics::get();
@@ -188,19 +277,42 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
   }
   if (candidates.empty()) candidates.push_back(config_.k_max);
 
+  // Plan-cache probes happen serially *before* the parallel region, and
+  // inserts serially after it (candidate order), so the cache's contents
+  // and hit/miss counters never depend on the worker count.
+  std::vector<JointPlan> plans(candidates.size());
+  std::vector<bool> from_cache(candidates.size(), false);
+  if (cache_key != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      PlanCacheKey key = *cache_key;
+      key.k_bits = make_plan_cache_key(0, 0, candidates[i], 0.0).k_bits;
+      from_cache[i] = plan_cache_.find(key, &plans[i]);
+    }
+  }
+
   // Evaluate every candidate independently (concurrently when a pool
   // exists). While the candidates occupy the pool the slack estimator runs
   // its shards serially within each candidate — shard count, not worker
   // placement, determines the estimates, so this only shapes the schedule.
   const bool parallel_candidates =
       pool_ != nullptr && pool_->num_threads() > 1 && candidates.size() > 1;
-  std::vector<JointPlan> plans(candidates.size());
   parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
+    if (from_cache[i]) return;
     plans[i] = plan_impl(background, utilization, candidates[i],
                          parallel_candidates ? nullptr : pool_.get(),
                          /*serial_slack=*/parallel_candidates,
-                         constrained ? &constraints : nullptr);
+                         constrained ? &constraints : nullptr,
+                         /*warm=*/nullptr);
   });
+
+  if (cache_key != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (from_cache[i]) continue;
+      PlanCacheKey key = *cache_key;
+      key.k_bits = make_plan_cache_key(0, 0, candidates[i], 0.0).k_bits;
+      plan_cache_.insert(key, plans[i]);
+    }
+  }
 
   // Deterministic serial reduction in candidate order.
   JointPlan best;

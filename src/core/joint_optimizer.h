@@ -21,6 +21,7 @@
 
 #include "consolidate/greedy_consolidator.h"
 #include "sim/search_cluster.h"
+#include "core/plan_cache.h"
 #include "core/server_power_predictor.h"
 #include "core/slack_estimator.h"
 #include "dvfs/service_model.h"
@@ -29,6 +30,20 @@
 #include "util/thread_pool.h"
 
 namespace eprons {
+
+/// Incremental (epoch-to-epoch) planning knobs. Off by default: cold
+/// searches stay byte-identical to the pre-incremental planner.
+struct IncrementalPlanningConfig {
+  /// Master switch for warm-started optimize() calls and the plan cache.
+  bool enabled = false;
+  /// Regression bound handed to the consolidator's warm-start path: an
+  /// incremental pack may activate at most this many switches beyond the
+  /// previous plan before the planner falls back to a cold re-pack.
+  int max_extra_switches = 2;
+  /// PlanCache capacity (evaluated plans retained, FIFO). 0 disables the
+  /// cache while keeping warm-started consolidation.
+  std::size_t plan_cache_capacity = 64;
+};
 
 struct JointOptimizerConfig {
   double k_min = 1.0;
@@ -51,6 +66,8 @@ struct JointOptimizerConfig {
   /// Worker threads for the K search (and, for serial searches, the slack
   /// estimator's shards). Results are independent of this value.
   RuntimeConfig runtime;
+
+  IncrementalPlanningConfig incremental;
 };
 
 /// Extra constraints for one optimize() call, layered on top of the
@@ -114,15 +131,38 @@ class JointOptimizer {
   JointPlan optimize(const FlowSet& background, double utilization,
                      const PlanConstraints& constraints) const;
 
+  /// Incremental search: when `config().incremental.enabled` and `previous`
+  /// is a feasible plan, first re-evaluates only the previous epoch's K
+  /// with the consolidator warm-started from the previous routing (dirty
+  /// flows re-packed, clean flows kept). If that single candidate is
+  /// latency-feasible it short-circuits the full K sweep; otherwise the
+  /// planner logs the fallback and runs the cold search. Evaluated plans
+  /// land in (and are first looked up from) the PlanCache, so re-planning
+  /// the same demands under the same constraints is a cache hit. A null
+  /// `previous` — or incremental planning disabled — degrades to the cold
+  /// search above.
+  JointPlan optimize(const FlowSet& background, double utilization,
+                     const PlanConstraints& constraints,
+                     const JointPlan* previous) const;
+
  private:
   /// `slack_pool` parallelizes the slack estimator's shards;
   /// `serial_slack` forces shard-serial estimation (used when the K
   /// candidates themselves already occupy the pool). Neither affects the
   /// returned plan, only how fast it is computed. `constraints` may be
-  /// null (unconstrained).
+  /// null (unconstrained). `warm` (may be null) is forwarded to the
+  /// consolidator's incremental entry point.
   JointPlan plan_impl(const FlowSet& background, double utilization,
                       double k, ThreadPool* slack_pool, bool serial_slack,
-                      const PlanConstraints* constraints) const;
+                      const PlanConstraints* constraints,
+                      const WarmStartHint* warm) const;
+
+  /// The cold full K sweep shared by every optimize() overload. `cache_key`
+  /// (may be null) enables per-candidate PlanCache probes before the
+  /// parallel region and candidate-order inserts after it.
+  JointPlan cold_search(const FlowSet& background, double utilization,
+                        const PlanConstraints& constraints,
+                        const PlanCacheKey* cache_key) const;
 
   const Topology* topo_;
   const ServiceModel* service_model_;
@@ -131,6 +171,9 @@ class JointOptimizer {
   GreedyConsolidator default_consolidator_;
   const Consolidator* consolidator_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Probed/filled only from serial sections of optimize(), so its contents
+  /// and counters are independent of the worker count.
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace eprons

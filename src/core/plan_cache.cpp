@@ -1,0 +1,122 @@
+#include "core/plan_cache.h"
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "core/joint_optimizer.h"
+#include "obs/telemetry.h"
+
+namespace eprons {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (byte * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void fnv_mix_mask(std::uint64_t& h, const std::vector<bool>& mask) {
+  fnv_mix(h, static_cast<std::uint64_t>(mask.size()));
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const bool bit : mask) {
+    word = (word << 1) | (bit ? 1u : 0u);
+    if (++filled == 64) {
+      fnv_mix(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) fnv_mix(h, word);
+}
+
+}  // namespace
+
+PlanCacheKey make_plan_cache_key(std::uint64_t demand_fingerprint,
+                                 std::uint64_t constraint_fingerprint,
+                                 double k, double utilization) {
+  PlanCacheKey key;
+  key.demand_fingerprint = demand_fingerprint;
+  key.constraint_fingerprint = constraint_fingerprint;
+  key.k_bits = double_bits(k);
+  key.utilization_bits = double_bits(utilization);
+  return key;
+}
+
+std::uint64_t fingerprint_constraints(const std::vector<bool>& allowed_switches,
+                                      const std::vector<bool>& blocked_links,
+                                      double k_min) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_mask(h, allowed_switches);
+  fnv_mix_mask(h, blocked_links);
+  fnv_mix(h, double_bits(k_min));
+  return h;
+}
+
+struct PlanCache::Impl {
+  explicit Impl(std::size_t cap) : capacity(cap) {}
+
+  std::size_t capacity;
+  mutable std::mutex mu;
+  std::map<PlanCacheKey, JointPlan> entries;
+  std::deque<PlanCacheKey> order;  // FIFO insertion order
+};
+
+PlanCache::PlanCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>(capacity)) {}
+
+PlanCache::~PlanCache() = default;
+PlanCache::PlanCache(PlanCache&&) noexcept = default;
+PlanCache& PlanCache::operator=(PlanCache&&) noexcept = default;
+
+bool PlanCache::find(const PlanCacheKey& key, JointPlan* out) const {
+  static obs::Counter& hits = obs::metrics().counter("plan_cache.hits");
+  static obs::Counter& misses = obs::metrics().counter("plan_cache.misses");
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->entries.find(key);
+  if (it == impl_->entries.end()) {
+    misses.add();
+    return false;
+  }
+  hits.add();
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void PlanCache::insert(const PlanCacheKey& key, const JointPlan& plan) {
+  static obs::Counter& evictions =
+      obs::metrics().counter("plan_cache.evictions");
+  if (impl_->capacity == 0) return;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->entries.count(key) > 0) return;  // first insert wins
+  if (impl_->entries.size() >= impl_->capacity) {
+    impl_->entries.erase(impl_->order.front());
+    impl_->order.pop_front();
+    evictions.add();
+  }
+  impl_->entries.emplace(key, plan);
+  impl_->order.push_back(key);
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+std::size_t PlanCache::capacity() const { return impl_->capacity; }
+
+}  // namespace eprons

@@ -22,7 +22,9 @@
 
 namespace eprons {
 
+/// The predictor's answer for one (utilization, budget) query.
 struct ServerPowerPrediction {
+  /// Core frequency a statistical policy would settle on, GHz.
   Freq frequency = 0.0;
   /// Busy fraction per core after slowdown.
   double busy_fraction = 0.0;
@@ -33,13 +35,18 @@ struct ServerPowerPrediction {
 };
 
 struct ServerPowerPredictorConfig {
+  /// Acceptable per-request violation probability (the paper's 5%).
   double target_vp = 0.05;
   /// Queue-depth cap used in the equivalent-request estimate.
   std::size_t max_queue_depth = 8;
 };
 
+/// Closed-form stand-in for the DES on the joint optimizer's hot path:
+/// answers "what would one server draw if it may take `budget` us per
+/// request?" without simulating (section IV-A's parameterized model).
 class ServerPowerPredictor {
  public:
+  /// Both models must outlive the predictor (not owned).
   ServerPowerPredictor(const ServiceModel* service_model,
                        const ServerPowerModel* power_model,
                        ServerPowerPredictorConfig config = {});

@@ -25,7 +25,9 @@
 
 namespace eprons {
 
+/// The three power-management schemes Fig. 15 compares.
 enum class Scheme { NoPowerManagement, TimeTrader, Eprons };
+/// Human-readable scheme label ("no-pm", "timetrader", "eprons").
 const char* scheme_name(Scheme scheme);
 
 struct TraceReplayConfig {
@@ -46,6 +48,8 @@ struct TraceReplayConfig {
   JointOptimizerConfig joint;
 };
 
+/// One full-DES calibration run at a fixed diurnal operating point; the
+/// replay linearly interpolates power between neighbouring points.
 struct CalibrationPoint {
   double shape = 0.0;  // diurnal shape value in [0, 1]
   double utilization = 0.0;
@@ -63,6 +67,7 @@ struct CalibrationPoint {
   SimTime server_budget = 0.0;
 };
 
+/// Interpolated whole-system power draw for one trace minute.
 struct MinutePower {
   int minute = 0;
   Power server_power = 0.0;   // whole cluster
@@ -70,6 +75,8 @@ struct MinutePower {
   Power total_power = 0.0;
 };
 
+/// A scheme's full 24-h replay: calibration grid, per-minute series, and
+/// the aggregates Fig. 15 plots.
 struct ReplayResult {
   Scheme scheme = Scheme::NoPowerManagement;
   std::vector<CalibrationPoint> calibration;
@@ -81,8 +88,10 @@ struct ReplayResult {
   Power min_total_power = 0.0;
 };
 
+/// Calibrate-then-interpolate replay of the 24-h diurnal trace (Fig. 15).
 class TraceReplay {
  public:
+  /// All three models must outlive the replay (not owned).
   TraceReplay(const FatTree* topo, const ServiceModel* service_model,
               const ServerPowerModel* power_model,
               TraceReplayConfig config = {});

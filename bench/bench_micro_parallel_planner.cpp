@@ -1,16 +1,31 @@
-// Microbenchmark: serial vs parallel joint-optimizer K search.
+// Microbenchmark: the cold joint-optimizer K sweep — reference vs fast
+// paths, serial vs parallel.
 //
-// The K search is the planner's hot path — every diurnal epoch pays one
-// full optimize() (per-K consolidation + Monte-Carlo slack estimation +
-// server power prediction). This bench times optimize() at 1/2/4 worker
-// threads on the standard 4-ary fat-tree scenario, verifies the chosen
-// plan is bit-identical across thread counts (the determinism contract:
-// results are a function of seed and shard count, never of worker count),
-// and reports the speedup.
+// The cold sweep is the planner's hot path — every diurnal epoch without a
+// usable previous plan pays one full optimize() (per-K consolidation +
+// Monte-Carlo slack estimation + server power prediction). This bench
+// times optimize() through two implementations of that pipeline:
+//
+//   * `reference` — the retained straight-line paths: per-sample
+//     Monte-Carlo walks, per-decision equivalent-work convolutions, per-call
+//     path enumeration (PlanRequest use_reference_* all set);
+//   * `fast` — the production paths: chunked antithetic sampling with
+//     vectorized block logs, per-frequency CCDF tables, the memoized
+//     PathCatalog, and placement-deduplicated batch slack estimation.
+//
+// The fast rows run at 1/2/4 worker threads. Every row must produce a
+// byte-identical plan (the determinism contract: results are a function of
+// seed and shard count — never of worker count or of which implementation
+// ran), which the bench checks field-for-field and summarizes as one
+// 64-bit plan fingerprint per row. CI diffs the fingerprints fast vs
+// reference and tracks the serial speedup in BENCH_6.json.
 //
 //   ./bench_micro_parallel_planner [--reps=5] [--samples=400] [--csv|--json]
+//       [--no-timing] [--threads=N] [--reference-slack] [--reference-dvfs]
+//       [--reference-enumeration] [--reference]
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 
 #include "bench_common.h"
@@ -21,12 +36,11 @@ using namespace eprons;
 namespace {
 
 double time_optimize(const JointOptimizer& optimizer,
-                     const FlowSet& background, double utilization, int reps,
-                     JointPlan* out) {
+                     const PlanRequest& request, int reps, JointPlan* out) {
   double best_ms = 1e300;
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
-    JointPlan plan = optimizer.optimize(background, utilization);
+    JointPlan plan = optimizer.optimize(request);
     const auto stop = std::chrono::steady_clock::now();
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -47,16 +61,63 @@ bool plans_identical(const JointPlan& a, const JointPlan& b) {
          a.total_power == b.total_power;
 }
 
+// FNV-1a over the plan's decision-relevant state: one line of output CI can
+// diff across implementations, thread counts, and commits.
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return fnv1a(hash, bits);
+}
+
+std::uint64_t plan_fingerprint(const JointPlan& plan) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  hash = fnv1a(hash, static_cast<std::uint64_t>(plan.feasible));
+  hash = fnv1a(hash, plan.k);
+  hash = fnv1a(hash, plan.slack.request_mean);
+  hash = fnv1a(hash, plan.slack.request_p95);
+  hash = fnv1a(hash, plan.slack.total_mean);
+  hash = fnv1a(hash, plan.slack.total_p95);
+  hash = fnv1a(hash, plan.slack.total_p99);
+  hash = fnv1a(hash, plan.server.frequency);
+  hash = fnv1a(hash, plan.server.busy_fraction);
+  hash = fnv1a(hash, plan.server.server_power);
+  hash = fnv1a(hash, plan.effective_server_budget);
+  hash = fnv1a(hash, plan.network_power);
+  hash = fnv1a(hash, plan.total_power);
+  for (std::size_t i = 0; i < plan.placement.switch_on.size(); ++i) {
+    if (plan.placement.switch_on[i]) hash = fnv1a(hash, i);
+  }
+  for (const Path& path : plan.placement.flow_paths) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(path.size()));
+    for (NodeId node : path) {
+      hash = fnv1a(hash, static_cast<std::uint64_t>(node));
+    }
+  }
+  return hash;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const TableFormat fmt = table_format_from_cli(cli);
   const int reps = static_cast<int>(cli.get_int("reps", 5));
+  const bool no_timing = cli.has_flag("no-timing");
+  const ReferenceFlags forced = reference_flags_from_cli(cli);
   bench::print_header(
-      "Micro — parallel joint-optimizer K search",
-      "n/a (implementation microbenchmark: identical plans at any thread "
-      "count, speedup from evaluating the K candidates concurrently)");
+      "Micro — cold K sweep, reference vs fast, serial vs parallel",
+      "n/a (implementation microbenchmark: byte-identical plans from every "
+      "implementation at any thread count; speedup from the batched fast "
+      "paths and from evaluating the K candidates concurrently)");
 
   const Scenario scn = bench::make_scenario(cli);
   Rng bg_rng(42);
@@ -68,36 +129,85 @@ int main(int argc, char** argv) {
   config.slack.samples_per_pair =
       static_cast<int>(cli.get_int("samples", 400));
 
-  Table table({"threads", "best_ms", "speedup", "K", "total_W",
-               "plan_identical"});
+  Table table({"mode", "threads", "best_ms", "speedup", "K", "total_W",
+               "fingerprint", "plan_identical"});
   table.set_precision(2);
 
-  JointPlan serial_plan;
-  double serial_ms = 0.0;
+  JointPlan reference_plan;
+  double reference_ms = 0.0;
+  double fast_serial_ms = 0.0;
   bool all_identical = true;
-  for (int threads : {1, 2, 4}) {
+  std::uint64_t reference_fp = 0;
+  std::uint64_t fast_fp = 0;
+
+  struct RowSpec {
+    const char* mode;
+    int threads;
+    bool reference;
+  };
+  const RowSpec rows[] = {
+      {"reference", 1, true},
+      {"fast", 1, false},
+      {"fast", 2, false},
+      {"fast", 4, false},
+  };
+  for (const RowSpec& spec : rows) {
     JointOptimizerConfig cfg = config;
-    cfg.runtime.threads = threads;
+    cfg.runtime.threads = spec.threads;
     const JointOptimizer optimizer = scn.optimizer(cfg);
-    JointPlan plan;
-    const double best_ms =
-        time_optimize(optimizer, background, utilization, reps, &plan);
-    if (threads == 1) {
-      serial_plan = plan;
-      serial_ms = best_ms;
+
+    PlanRequest request;
+    request.background = &background;
+    request.utilization = utilization;
+    if (spec.reference) {
+      request.use_reference_slack = true;
+      request.use_reference_dvfs = true;
+      request.use_reference_enumeration = true;
+    } else {
+      // The fast rows still honor an explicit --reference-* flag, so one
+      // suspect subsystem can be pinned to its reference implementation
+      // while the rest stays fast (determinism bisection).
+      bench::apply_reference_flags(forced, &request);
     }
-    const bool identical = plans_identical(plan, serial_plan);
-    all_identical = all_identical && identical;
-    table.add_row({static_cast<long long>(threads), best_ms,
-                   serial_ms / best_ms, plan.k, plan.total_power,
+
+    JointPlan plan;
+    const double best_ms = time_optimize(optimizer, request, reps, &plan);
+    const std::uint64_t fp = plan_fingerprint(plan);
+    if (spec.reference) {
+      reference_plan = plan;
+      reference_ms = best_ms;
+      reference_fp = fp;
+    } else if (spec.threads == 1) {
+      fast_serial_ms = best_ms;
+      fast_fp = fp;
+    }
+    const bool identical = plans_identical(plan, reference_plan);
+    all_identical = all_identical && identical && fp == reference_fp;
+    table.add_row({std::string(spec.mode),
+                   static_cast<long long>(spec.threads),
+                   no_timing ? 0.0 : best_ms,
+                   no_timing ? 0.0 : reference_ms / best_ms, plan.k,
+                   plan.total_power, strformat("%016llx",
+                       static_cast<unsigned long long>(fp)),
                    std::string(identical ? "yes" : "NO")});
   }
   table.print(std::cout, fmt);
 
+  std::printf("\nfingerprint fast=%016llx reference=%016llx identical=%s\n",
+              static_cast<unsigned long long>(fast_fp),
+              static_cast<unsigned long long>(reference_fp),
+              all_identical ? "yes" : "NO");
   if (!all_identical) {
-    std::printf("\nFAIL: parallel plan differs from the serial plan\n");
+    std::printf("FAIL: plans differ across implementations/threads\n");
     return EXIT_FAILURE;
   }
-  std::printf("\nall thread counts produced bit-identical plans\n");
+  if (!no_timing) {
+    std::printf("serial cold sweep: reference %.2f ms, fast %.2f ms "
+                "(%.1fx)\n",
+                reference_ms, fast_serial_ms,
+                fast_serial_ms > 0.0 ? reference_ms / fast_serial_ms : 0.0);
+  }
+  std::printf("all implementations and thread counts produced "
+              "byte-identical plans\n");
   return EXIT_SUCCESS;
 }

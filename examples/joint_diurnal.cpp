@@ -50,7 +50,10 @@ int main(int argc, char** argv) {
     const FlowSet background = make_background_flows(
         gen, 10, point.background_util, 0.1, flow_rng);
 
-    const JointPlan plan = optimizer.optimize(background, utilization);
+    PlanRequest request;
+    request.background = &background;
+    request.utilization = utilization;
+    const JointPlan plan = optimizer.optimize(request);
     table.add_row({static_cast<long long>(point.minute), point.search_load,
                    point.background_util, plan.k,
                    static_cast<long long>(plan.placement.active_switches),

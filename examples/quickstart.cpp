@@ -38,7 +38,10 @@ int main(int argc, char** argv) {
   // 3. Joint optimization: pick the scale factor K that minimizes
   //    predicted total (server + network) power under the 30 ms SLA.
   const JointOptimizer optimizer = scn.optimizer();
-  const JointPlan plan = optimizer.optimize(background, utilization);
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = utilization;
+  const JointPlan plan = optimizer.optimize(request);
   std::printf("joint plan: K=%.0f  active switches=%d  network=%.0f W  "
               "predicted total=%.0f W  feasible=%s\n",
               plan.k, plan.placement.active_switches, plan.network_power,

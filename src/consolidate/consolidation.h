@@ -21,6 +21,8 @@
 
 namespace eprons {
 
+class PathCatalog;
+
 struct ConsolidationConfig {
   /// Scale factor K (paper section II): latency-sensitive flow demands are
   /// inflated to K * demand before placement, reserving headroom.
@@ -40,6 +42,14 @@ struct ConsolidationConfig {
   /// the fault overlay's down links during an emergency re-plan. Empty =
   /// every link usable.
   std::vector<bool> blocked_links;
+  /// Optional memoized path enumeration (see topo/path_catalog.h), shared
+  /// across consolidate() calls on the same topology — the joint optimizer
+  /// wires its catalog in here for every K candidate. When set, the
+  /// consolidators read annotated candidate paths from the catalog instead
+  /// of re-enumerating (and re-resolving links) per call; the candidate
+  /// order, and therefore every placement, is identical either way. Not
+  /// owned; must be built over the same Topology passed to consolidate().
+  const PathCatalog* path_catalog = nullptr;
 };
 
 struct ConsolidationResult {

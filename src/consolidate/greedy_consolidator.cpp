@@ -1,10 +1,12 @@
 #include "consolidate/greedy_consolidator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
 #include "obs/telemetry.h"
+#include "topo/path_catalog.h"
 #include "util/log.h"
 
 namespace eprons {
@@ -30,6 +32,8 @@ struct Packer {
   /// Set when !best_effort_overflow and a flow could not be placed; the
   /// caller returns an infeasible result with cleared paths.
   bool aborted = false;
+  /// Scratch skip-mask over one pair's catalog paths (reused per place).
+  std::vector<std::uint8_t> usable;
 
   Packer(const Topology& topo_in, const FlowSet& flows_in,
          const ConsolidationConfig& config_in,
@@ -126,11 +130,136 @@ struct Packer {
     activate_path(graph, path, result);
   }
 
+  /// Charges the flow's demand along a catalog path and turns it on —
+  /// apply() with every Graph lookup replaced by the precomputed arrays.
+  void apply_cataloged(std::size_t fi, const CatalogPath& cp) {
+    const Flow& flow = flows[fi];
+    const Bandwidth scaled = flow.scaled_demand(config.scale_factor_k);
+    for (std::size_t h = 0; h < cp.arc_slots.size(); ++h) {
+      // May go negative on overflow.
+      residual[cp.arc_slots[h]] -= cp.host_adjacent[h] ? flow.demand : scaled;
+    }
+    result.flow_paths[fi] = cp.nodes;
+    for (NodeId n : cp.nodes) {
+      result.switch_on[static_cast<std::size_t>(n)] = true;
+    }
+    for (LinkId l : cp.links) {
+      result.link_on[static_cast<std::size_t>(l)] = true;
+    }
+  }
+
+  /// place() against the memoized catalog: identical filtering, scoring and
+  /// tie-break order as the enumerating path below — the mask skips exactly
+  /// the paths active_paths() and the blocked-link erase would drop, and
+  /// relative candidate order is preserved, so the same path wins.
+  bool place_cataloged(std::size_t fi, obs::Counter& flows_placed) {
+    const Flow& flow = flows[fi];
+    const std::vector<CatalogPath>& cpaths =
+        config.path_catalog->pair(flow.src_host, flow.dst_host);
+    usable.assign(cpaths.size(), 1);
+    std::size_t usable_count = 0;
+    for (std::size_t p = 0; p < cpaths.size(); ++p) {
+      const CatalogPath& cp = cpaths[p];
+      bool ok = true;
+      if (!config.allowed_switches.empty()) {
+        for (NodeId n : cp.switches) {
+          if (!config.allowed_switches[static_cast<std::size_t>(n)]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok && !config.blocked_links.empty()) {
+        for (LinkId l : cp.links) {
+          if (config.blocked_links[static_cast<std::size_t>(l)]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      usable[p] = ok ? 1 : 0;
+      if (ok) ++usable_count;
+    }
+    if (usable_count == 0) {
+      // The restricted subnet disconnects this pair entirely.
+      overloaded = true;
+      result.feasible = false;
+      if (!options.best_effort_overflow) {
+        aborted = true;
+        return false;
+      }
+      return true;
+    }
+
+    const Bandwidth scaled = flow.scaled_demand(config.scale_factor_k);
+    std::size_t best = cpaths.size();
+    double best_score = std::numeric_limits<double>::max();
+    for (std::size_t p = 0; p < cpaths.size(); ++p) {
+      if (!usable[p]) continue;
+      const CatalogPath& cp = cpaths[p];
+      bool fits = true;
+      double min_headroom = std::numeric_limits<double>::infinity();
+      for (std::size_t h = 0; h < cp.arc_slots.size(); ++h) {
+        const Bandwidth need = cp.host_adjacent[h] ? flow.demand : scaled;
+        const Bandwidth r = residual[cp.arc_slots[h]];
+        min_headroom = std::min(min_headroom, r - need);
+        if (r + 1e-9 < need) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      double score;
+      if (options.objective == PlacementObjective::MinimizeSwitches) {
+        int new_switches = 0;
+        for (NodeId n : cp.switches) {
+          if (!result.switch_on[static_cast<std::size_t>(n)]) ++new_switches;
+        }
+        score = new_switches;
+      } else {
+        score = -min_headroom;
+      }
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best = p;
+      }
+    }
+
+    if (best == cpaths.size()) {
+      if (!options.best_effort_overflow) {
+        result.feasible = false;
+        aborted = true;
+        return false;
+      }
+      // Overflow fallback: the path with the largest bottleneck residual.
+      overloaded = true;
+      Bandwidth best_bottleneck = -std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < cpaths.size(); ++p) {
+        if (!usable[p]) continue;
+        Bandwidth bottleneck = std::numeric_limits<double>::infinity();
+        for (std::uint32_t slot : cpaths[p].arc_slots) {
+          bottleneck = std::min(bottleneck, residual[slot]);
+        }
+        if (bottleneck > best_bottleneck) {
+          best_bottleneck = bottleneck;
+          best = p;
+        }
+      }
+    }
+
+    apply_cataloged(fi, cpaths[best]);
+    flows_placed.add();
+    return true;
+  }
+
   /// Places one flow with the cold-path rules: enumerate candidate paths,
   /// score them (MinimizeSwitches or BalanceLoad), overflow-fallback when
   /// nothing fits. Returns false when the pack must be aborted
   /// (!best_effort_overflow and no candidate fits).
   bool place(std::size_t fi, obs::Counter& flows_placed) {
+    if (config.path_catalog != nullptr) {
+      return place_cataloged(fi, flows_placed);
+    }
     const Flow& flow = flows[fi];
     std::vector<Path> candidates =
         config.allowed_switches.empty()

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/telemetry.h"
+#include "topo/path_catalog.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -77,7 +78,20 @@ PathMilp build_path_milp(const Topology& topo, const FlowSet& flows,
   // exists there).
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const Flow& flow = flows[i];
-    milp.flow_paths[i] = topo.all_paths(flow.src_host, flow.dst_host);
+    // The memoized catalog (when wired in) carries the same enumeration in
+    // the same order, with the per-hop link/direction lookups precomputed.
+    const std::vector<CatalogPath>* cataloged =
+        config.path_catalog != nullptr
+            ? &config.path_catalog->pair(flow.src_host, flow.dst_host)
+            : nullptr;
+    if (cataloged != nullptr) {
+      milp.flow_paths[i].reserve(cataloged->size());
+      for (const CatalogPath& cp : *cataloged) {
+        milp.flow_paths[i].push_back(cp.nodes);
+      }
+    } else {
+      milp.flow_paths[i] = topo.all_paths(flow.src_host, flow.dst_host);
+    }
     const double scaled = flow.scaled_demand(config.scale_factor_k);
     std::vector<lp::RowEntry> choose;
     for (std::size_t p = 0; p < milp.flow_paths[i].size(); ++p) {
@@ -87,10 +101,16 @@ PathMilp build_path_milp(const Topology& topo, const FlowSet& flows,
       choose.push_back({z, 1.0});
       const Path& path = milp.flow_paths[i][p];
       for (std::size_t h = 0; h + 1 < path.size(); ++h) {
-        const LinkId lid = graph.find_link(path[h], path[h + 1]);
-        const bool forward = graph.link(lid).a == path[h];
+        const LinkId lid = cataloged != nullptr
+                               ? (*cataloged)[p].links[h]
+                               : graph.find_link(path[h], path[h + 1]);
+        const bool forward = cataloged != nullptr
+                                 ? ((*cataloged)[p].arc_slots[h] & 1u) == 0u
+                                 : graph.link(lid).a == path[h];
         const bool host_adjacent =
-            !graph.is_switch(path[h]) || !graph.is_switch(path[h + 1]);
+            cataloged != nullptr
+                ? (*cataloged)[p].host_adjacent[h] != 0
+                : !graph.is_switch(path[h]) || !graph.is_switch(path[h + 1]);
         const double arc_load = host_adjacent ? flow.demand : scaled;
         if (arc_load > 0.0) {
           arc_demand[{lid, forward}].push_back({z, arc_load});

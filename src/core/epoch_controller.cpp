@@ -129,15 +129,16 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
           ? &last_plan_
           : nullptr;
   JointPlan plan;
+  PlanRequest request;
+  request.background = &predicted;
+  request.utilization = utilization;
   if (faults_active_) {
-    PlanConstraints constraints;
-    constraints.allowed_switches = active_overlay_.surviving_switches();
-    constraints.blocked_links = active_overlay_.down_link_mask();
-    plan = optimizer_->optimize(predicted, utilization, constraints);
+    request.constraints.allowed_switches = active_overlay_.surviving_switches();
+    request.constraints.blocked_links = active_overlay_.down_link_mask();
   } else {
-    plan = optimizer_->optimize(predicted, utilization, PlanConstraints{},
-                                warm_previous);
+    request.previous = warm_previous;
   }
+  plan = optimizer_->optimize(request);
   report.chosen_k = plan.k;
   report.feasible = plan.feasible;
   report.predicted_total = plan.total_power;
@@ -303,8 +304,11 @@ RecoveryReport EpochController::on_failure(const FailureOverlay& overlay) {
     hot.allowed_switches[i] = alive && on;
   }
   hot.blocked_links = blocked;
-  JointPlan plan = optimizer_->optimize(last_predicted_, last_utilization_,
-                                        hot);
+  PlanRequest hot_request;
+  hot_request.background = &last_predicted_;
+  hot_request.utilization = last_utilization_;
+  hot_request.constraints = std::move(hot);
+  JointPlan plan = optimizer_->optimize(hot_request);
   bool hot_feasible = plan.feasible;
 
   // Phase 2 (cold): the already-on pool is not enough — open the whole
@@ -316,7 +320,11 @@ RecoveryReport EpochController::on_failure(const FailureOverlay& overlay) {
     cold.blocked_links = blocked;
     cold.k_min =
         std::min(last_plan_.k + config_.recovery.k_bump, config_.joint.k_max);
-    plan = optimizer_->optimize(last_predicted_, last_utilization_, cold);
+    PlanRequest cold_request;
+    cold_request.background = &last_predicted_;
+    cold_request.utilization = last_utilization_;
+    cold_request.constraints = std::move(cold);
+    plan = optimizer_->optimize(cold_request);
   }
   report.chosen_k = plan.k;
   report.k_bumped = plan.k > report.previous_k;

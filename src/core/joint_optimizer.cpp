@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/telemetry.h"
@@ -45,6 +46,14 @@ struct PlannerMetrics {
 
 }  // namespace
 
+// Background + query flows, identical for every K candidate of one
+// optimize() call — assembled once and copied into each candidate's plan.
+struct JointOptimizer::Assembly {
+  FlowSet flows;
+  std::vector<FlowId> request_flow;
+  std::vector<FlowId> reply_flow;
+};
+
 JointOptimizer::JointOptimizer(const Topology* topo,
                                const ServiceModel* service_model,
                                const ServerPowerModel* power_model,
@@ -55,6 +64,10 @@ JointOptimizer::JointOptimizer(const Topology* topo,
       power_model_(power_model),
       config_(std::move(config)),
       consolidator_(consolidator ? consolidator : &default_consolidator_),
+      path_catalog_(topo),
+      vp_table_(std::make_unique<VpTable>(
+          service_model,
+          std::max<std::size_t>(1, config_.predictor.max_queue_depth))),
       plan_cache_(config_.incremental.enabled
                       ? config_.incremental.plan_cache_capacity
                       : 0) {
@@ -63,46 +76,51 @@ JointOptimizer::JointOptimizer(const Topology* topo,
   }
 }
 
-JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
-                                     double utilization, double k) const {
-  return plan_impl(background, utilization, k, pool_.get(),
-                   /*serial_slack=*/false, /*constraints=*/nullptr,
-                   /*warm=*/nullptr);
-}
-
-JointPlan JointOptimizer::plan_impl(const FlowSet& background,
-                                    double utilization, double k,
-                                    ThreadPool* slack_pool, bool serial_slack,
-                                    const PlanConstraints* constraints,
-                                    const WarmStartHint* warm) const {
-  const obs::ScopedSpan span(obs::tracer(), "plan_k", "planner", "k", k);
-  PlannerMetrics& pm = PlannerMetrics::get();
-  pm.candidates.add();
-
-  JointPlan plan;
-  plan.k = k;
-
-  // Assemble background + query flows (same layout as run_search_scenario).
+JointOptimizer::Assembly JointOptimizer::assemble_flows(
+    const FlowSet& background) const {
+  Assembly assembly;
+  // Same layout as run_search_scenario: background first, then one
+  // request/reply flow per non-aggregator host.
   for (const Flow& f : background.flows()) {
-    plan.flows.add(f.src_host, f.dst_host, f.demand, f.cls);
+    assembly.flows.add(f.src_host, f.dst_host, f.demand, f.cls);
   }
   const int hosts = topo_->num_hosts();
-  plan.request_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
-  plan.reply_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
+  assembly.request_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
+  assembly.reply_flow.assign(static_cast<std::size_t>(hosts), kInvalidFlow);
   for (int h = 0; h < hosts; ++h) {
     if (h == config_.aggregator_host) continue;
-    plan.request_flow[static_cast<std::size_t>(h)] =
-        plan.flows.add(config_.aggregator_host, h,
-                       config_.query_request_demand,
-                       FlowClass::LatencySensitive);
-    plan.reply_flow[static_cast<std::size_t>(h)] =
-        plan.flows.add(h, config_.aggregator_host,
-                       config_.query_reply_demand,
-                       FlowClass::LatencySensitive);
+    assembly.request_flow[static_cast<std::size_t>(h)] =
+        assembly.flows.add(config_.aggregator_host, h,
+                           config_.query_request_demand,
+                           FlowClass::LatencySensitive);
+    assembly.reply_flow[static_cast<std::size_t>(h)] =
+        assembly.flows.add(h, config_.aggregator_host,
+                           config_.query_reply_demand,
+                           FlowClass::LatencySensitive);
   }
+  return assembly;
+}
+
+void JointOptimizer::consolidate_into(JointPlan& plan,
+                                      const Assembly& assembly, double k,
+                                      const PlanConstraints* constraints,
+                                      const WarmStartHint* warm,
+                                      bool reference_enumeration) const {
+  plan.k = k;
+  plan.flows = assembly.flows;
+  plan.request_flow = assembly.request_flow;
+  plan.reply_flow = assembly.reply_flow;
 
   ConsolidationConfig consolidation = config_.consolidation;
   consolidation.scale_factor_k = k;
+  // The catalog only memoizes what the consolidator would enumerate anyway
+  // (candidate paths in identical order), so wiring it in never changes
+  // the placement — reference_enumeration exists to prove that.
+  if (reference_enumeration) {
+    consolidation.path_catalog = nullptr;
+  } else if (consolidation.path_catalog == nullptr) {
+    consolidation.path_catalog = &path_catalog_;
+  }
   if (constraints) {
     if (!constraints->allowed_switches.empty()) {
       consolidation.allowed_switches = constraints->allowed_switches;
@@ -117,25 +135,28 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
                                                    consolidation, warm)
           : consolidator_->consolidate(*topo_, plan.flows, consolidation);
   plan.network_power = plan.placement.network_power;
+}
+
+LinkUtilization JointOptimizer::offered_load_for(const JointPlan& plan,
+                                                 double utilization) const {
+  // Latency model sees actual average query rates, not reservations.
+  const double lambda = query_arrival_rate_per_us(
+      *service_model_, power_model_->num_cores(), utilization);
+  return scenario_offered_load(topo_->graph(), plan.placement, plan.flows,
+                               plan.request_flow, plan.reply_flow,
+                               query_stream_rate(lambda, 1000.0),
+                               query_stream_rate(lambda, 2000.0));
+}
+
+void JointOptimizer::finalize_plan(JointPlan& plan, double utilization,
+                                   bool reference_dvfs) const {
+  PlannerMetrics& pm = PlannerMetrics::get();
+  pm.slack_p95.observe(plan.slack.total_p95);
 
   // A margin-violating placement is never SLA-feasible, but it still has
   // best-effort paths — evaluate them so optimize() can rank fallbacks.
   const bool placement_ok = plan.placement.feasible;
-
-  // Latency model sees actual average query rates, not reservations.
-  const double lambda = query_arrival_rate_per_us(
-      *service_model_, power_model_->num_cores(), utilization);
-  const LinkUtilization load = scenario_offered_load(
-      topo_->graph(), plan.placement, plan.flows, plan.request_flow,
-      plan.reply_flow, query_stream_rate(lambda, 1000.0),
-      query_stream_rate(lambda, 2000.0));
-  SlackEstimatorConfig slack_config = config_.slack;
-  if (serial_slack) slack_config.runtime.threads = 1;
-  plan.slack = estimate_network_slack(topo_->graph(), plan.placement, load,
-                                      plan.request_flow, plan.reply_flow,
-                                      slack_config, slack_pool);
-
-  pm.slack_p95.observe(plan.slack.total_p95);
+  const int hosts = topo_->num_hosts();
 
   // Server budget: the SLA minus what the network actually needs at its
   // 95th percentile round trip.
@@ -146,17 +167,18 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
     plan.total_power = plan.network_power +
                        hosts * power_model_->peak_power();
     pm.infeasible_budget.add();
-    EPRONS_LOG(Debug) << "K=" << k << " rejected: network p95 "
+    EPRONS_LOG(Debug) << "K=" << plan.k << " rejected: network p95 "
                       << plan.slack.total_p95 << " us consumes the whole "
                       << config_.latency_constraint << " us SLA";
-    return plan;
+    return;
   }
 
   {
     const obs::ScopedSpan predict_span(obs::tracer(), "server_power_predict",
-                                       "planner", "k", k);
-    const ServerPowerPredictor predictor(service_model_, power_model_,
-                                         config_.predictor);
+                                       "planner", "k", plan.k);
+    const ServerPowerPredictor predictor(
+        service_model_, power_model_, config_.predictor,
+        reference_dvfs ? nullptr : vp_table_.get());
     plan.server = predictor.predict(utilization, plan.effective_server_budget);
   }
   plan.feasible = placement_ok && !plan.server.budget_infeasible;
@@ -167,54 +189,82 @@ JointPlan JointOptimizer::plan_impl(const FlowSet& background,
     pm.feasible.add();
   } else if (!placement_ok) {
     pm.infeasible_placement.add();
-    EPRONS_LOG(Debug) << "K=" << k
+    EPRONS_LOG(Debug) << "K=" << plan.k
                       << " rejected: consolidation violated the safety "
                          "margin or disconnected a pair";
   } else {
     pm.infeasible_budget.add();
-    EPRONS_LOG(Debug) << "K=" << k << " rejected: server budget "
+    EPRONS_LOG(Debug) << "K=" << plan.k << " rejected: server budget "
                       << plan.effective_server_budget
                       << " us unreachable even at f_max";
   }
+}
+
+JointPlan JointOptimizer::plan_impl(const Assembly& assembly,
+                                    double utilization, double k,
+                                    ThreadPool* slack_pool, bool serial_slack,
+                                    const PlanConstraints* constraints,
+                                    const WarmStartHint* warm,
+                                    const ReferenceKnobs& knobs) const {
+  const obs::ScopedSpan span(obs::tracer(), "plan_k", "planner", "k", k);
+  PlannerMetrics& pm = PlannerMetrics::get();
+  pm.candidates.add();
+
+  JointPlan plan;
+  consolidate_into(plan, assembly, k, constraints, warm, knobs.enumeration);
+
+  const LinkUtilization load = offered_load_for(plan, utilization);
+  SlackEstimatorConfig slack_config = config_.slack;
+  if (serial_slack) slack_config.runtime.threads = 1;
+  const SlackEstimator estimator(slack_config);
+  SlackEstimator::Query query;
+  query.placement = &plan.placement;
+  query.offered_load = &load;
+  query.request_flows = &plan.request_flow;
+  query.reply_flows = &plan.reply_flow;
+  plan.slack = estimator.estimate(query, slack_pool, knobs.slack);
+
+  finalize_plan(plan, utilization, knobs.dvfs);
   return plan;
 }
 
-JointPlan JointOptimizer::optimize(const FlowSet& background,
-                                   double utilization) const {
-  return optimize(background, utilization, PlanConstraints{});
+JointPlan JointOptimizer::plan_for_k(const FlowSet& background,
+                                     double utilization, double k) const {
+  const Assembly assembly = assemble_flows(background);
+  return plan_impl(assembly, utilization, k, pool_.get(),
+                   /*serial_slack=*/false, /*constraints=*/nullptr,
+                   /*warm=*/nullptr, ReferenceKnobs{});
 }
 
-JointPlan JointOptimizer::optimize(const FlowSet& background,
-                                   double utilization,
-                                   const PlanConstraints& constraints) const {
-  return optimize(background, utilization, constraints, nullptr);
-}
-
-JointPlan JointOptimizer::optimize(const FlowSet& background,
-                                   double utilization,
-                                   const PlanConstraints& constraints,
-                                   const JointPlan* previous) const {
+JointPlan JointOptimizer::optimize(const PlanRequest& request) const {
+  if (request.background == nullptr) {
+    throw std::invalid_argument(
+        "PlanRequest.background must point to the background FlowSet");
+  }
+  const Assembly assembly = assemble_flows(*request.background);
   if (!config_.incremental.enabled) {
-    return cold_search(background, utilization, constraints, nullptr);
+    return cold_search(assembly, request, nullptr);
   }
 
   PlannerMetrics& pm = PlannerMetrics::get();
-  const std::uint64_t demand_fp = demand_fingerprint(background);
+  const PlanConstraints& constraints = request.constraints;
+  const std::uint64_t demand_fp = demand_fingerprint(*request.background);
   const std::uint64_t constraint_fp = fingerprint_constraints(
       constraints.allowed_switches, constraints.blocked_links,
       constraints.k_min);
-  const PlanCacheKey base_key =
-      make_plan_cache_key(demand_fp, constraint_fp, 0.0, utilization);
+  const PlanCacheKey base_key = make_plan_cache_key(
+      demand_fp, constraint_fp, 0.0, request.utilization);
 
   const double k_floor = std::max(config_.k_min, constraints.k_min);
+  const JointPlan* previous = request.previous;
   const bool warm_eligible =
       previous != nullptr && previous->feasible &&
       previous->k >= k_floor - 1e-9 && previous->k <= config_.k_max + 1e-9;
   if (warm_eligible) {
     const obs::ScopedSpan span(obs::tracer(), "k_search_warm", "planner",
-                               "utilization", utilization);
-    const PlanCacheKey key = make_plan_cache_key(demand_fp, constraint_fp,
-                                                 previous->k, utilization);
+                               "utilization", request.utilization);
+    const PlanCacheKey key = make_plan_cache_key(
+        demand_fp, constraint_fp, previous->k, request.utilization);
     JointPlan cached;
     if (plan_cache_.find(key, &cached) && cached.feasible) {
       pm.searches.add();
@@ -229,13 +279,17 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
     const bool constrained = !constraints.allowed_switches.empty() ||
                              !constraints.blocked_links.empty() ||
                              constraints.k_min > 0.0;
+    const ReferenceKnobs knobs{request.use_reference_slack,
+                               request.use_reference_dvfs,
+                               request.use_reference_enumeration};
     WarmStartHint hint;
     hint.previous_flows = &previous->flows;
     hint.previous = &previous->placement;
     hint.max_extra_switches = config_.incremental.max_extra_switches;
-    JointPlan plan = plan_impl(background, utilization, previous->k,
+    JointPlan plan = plan_impl(assembly, request.utilization, previous->k,
                                pool_.get(), /*serial_slack=*/false,
-                               constrained ? &constraints : nullptr, &hint);
+                               constrained ? &constraints : nullptr, &hint,
+                               knobs);
     if (plan.feasible) {
       pm.searches.add();
       pm.warm_accepts.add();
@@ -255,18 +309,18 @@ JointPlan JointOptimizer::optimize(const FlowSet& background,
                      << " no longer feasible; falling back to the cold "
                         "full sweep";
   }
-  return cold_search(background, utilization, constraints, &base_key);
+  return cold_search(assembly, request, &base_key);
 }
 
-JointPlan JointOptimizer::cold_search(const FlowSet& background,
-                                      double utilization,
-                                      const PlanConstraints& constraints,
+JointPlan JointOptimizer::cold_search(const Assembly& assembly,
+                                      const PlanRequest& request,
                                       const PlanCacheKey* cache_key) const {
   const obs::ScopedSpan span(obs::tracer(), "k_search", "planner",
-                             "utilization", utilization);
+                             "utilization", request.utilization);
   PlannerMetrics& pm = PlannerMetrics::get();
   pm.searches.add();
 
+  const PlanConstraints& constraints = request.constraints;
   const bool constrained = !constraints.allowed_switches.empty() ||
                            !constraints.blocked_links.empty() ||
                            constraints.k_min > 0.0;
@@ -290,20 +344,93 @@ JointPlan JointOptimizer::cold_search(const FlowSet& background,
     }
   }
 
-  // Evaluate every candidate independently (concurrently when a pool
-  // exists). While the candidates occupy the pool the slack estimator runs
-  // its shards serially within each candidate — shard count, not worker
-  // placement, determines the estimates, so this only shapes the schedule.
+  const ReferenceKnobs knobs{request.use_reference_slack,
+                             request.use_reference_dvfs,
+                             request.use_reference_enumeration};
   const bool parallel_candidates =
       pool_ != nullptr && pool_->num_threads() > 1 && candidates.size() > 1;
-  parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
-    if (from_cache[i]) return;
-    plans[i] = plan_impl(background, utilization, candidates[i],
-                         parallel_candidates ? nullptr : pool_.get(),
-                         /*serial_slack=*/parallel_candidates,
-                         constrained ? &constraints : nullptr,
-                         /*warm=*/nullptr);
-  });
+
+  if (request.use_reference_slack) {
+    // Reference sweep shape: every candidate runs the whole per-candidate
+    // pipeline (concurrently when a pool exists). While the candidates
+    // occupy the pool the slack estimator runs its shards serially within
+    // each candidate — shard count, not worker placement, determines the
+    // estimates, so this only shapes the schedule.
+    parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
+      if (from_cache[i]) return;
+      plans[i] = plan_impl(assembly, request.utilization, candidates[i],
+                           parallel_candidates ? nullptr : pool_.get(),
+                           /*serial_slack=*/parallel_candidates,
+                           constrained ? &constraints : nullptr,
+                           /*warm=*/nullptr, knobs);
+    });
+  } else {
+    // Fast sweep, stage 1: consolidate every candidate (concurrently when
+    // a pool exists). Consolidation is cheap next to slack estimation, but
+    // keeping it parallel preserves the sweep's scaling on big topologies.
+    parallel_for(pool_.get(), candidates.size(), [&](std::size_t i) {
+      if (from_cache[i]) return;
+      const obs::ScopedSpan k_span(obs::tracer(), "plan_k", "planner", "k",
+                                   candidates[i]);
+      pm.candidates.add();
+      consolidate_into(plans[i], assembly, candidates[i],
+                       constrained ? &constraints : nullptr,
+                       /*warm=*/nullptr, knobs.enumeration);
+    });
+
+    // Stage 2: slack. Identical routings (flow_paths) across the sweep see
+    // identical offered load, and the estimate is a pure function of
+    // (routing, load, seed) — so estimate once per unique routing and
+    // share the result. At moderate load every K often consolidates to the
+    // same routing, collapsing the sweep's Monte-Carlo cost to one
+    // estimate. Grouping runs serially in candidate order; the batch
+    // itself parallelizes over (query, shard) units.
+    std::vector<std::size_t> leaders;
+    std::vector<std::size_t> group_of(candidates.size(), 0);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (from_cache[i]) continue;
+      bool grouped = false;
+      for (std::size_t g = 0; g < leaders.size(); ++g) {
+        if (plans[leaders[g]].placement.flow_paths ==
+            plans[i].placement.flow_paths) {
+          group_of[i] = g;
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        group_of[i] = leaders.size();
+        leaders.push_back(i);
+      }
+    }
+
+    std::vector<LinkUtilization> loads;
+    loads.reserve(leaders.size());
+    for (std::size_t j : leaders) {
+      loads.push_back(offered_load_for(plans[j], request.utilization));
+    }
+    std::vector<SlackEstimator::Query> queries;
+    queries.reserve(leaders.size());
+    for (std::size_t g = 0; g < leaders.size(); ++g) {
+      SlackEstimator::Query query;
+      query.placement = &plans[leaders[g]].placement;
+      query.offered_load = &loads[g];
+      query.request_flows = &plans[leaders[g]].request_flow;
+      query.reply_flows = &plans[leaders[g]].reply_flow;
+      queries.push_back(query);
+    }
+    const SlackEstimator estimator(config_.slack);
+    const std::vector<SlackEstimate> estimates =
+        estimator.estimate_many(queries, pool_.get());
+
+    // Stage 3: budget split, prediction and classification per candidate,
+    // serially in candidate order (telemetry order matches the reference).
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (from_cache[i]) continue;
+      plans[i].slack = estimates[group_of[i]];
+      finalize_plan(plans[i], request.utilization, knobs.dvfs);
+    }
+  }
 
   if (cache_key != nullptr) {
     for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -354,6 +481,36 @@ JointPlan JointOptimizer::cold_search(const FlowSet& background,
                    << " (network p95 " << fallback.slack.total_p95
                    << " us, marked infeasible)";
   return fallback;
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization) const {
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = utilization;
+  return optimize(request);
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization,
+                                   const PlanConstraints& constraints) const {
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = utilization;
+  request.constraints = constraints;
+  return optimize(request);
+}
+
+JointPlan JointOptimizer::optimize(const FlowSet& background,
+                                   double utilization,
+                                   const PlanConstraints& constraints,
+                                   const JointPlan* previous) const {
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = utilization;
+  request.constraints = constraints;
+  request.previous = previous;
+  return optimize(request);
 }
 
 }  // namespace eprons

@@ -10,11 +10,19 @@
 // a larger K costs switches but buys server slack.
 //
 // The K search is the planner's hot path (every bench/diurnal epoch pays
-// it), so with `runtime.threads > 1` all candidates are evaluated
-// concurrently on an internal ThreadPool. Each plan_for_k is a pure
-// function of its inputs (per-shard Rng::split() seeding in the slack
-// estimator, no shared mutable state), so the chosen plan is bit-identical
-// to the serial search for any thread count.
+// it), so it is engineered twice over:
+//   * with `runtime.threads > 1` all candidates are evaluated concurrently
+//     on an internal ThreadPool;
+//   * the cold sweep's three traced hot spots each have a fast
+//     implementation — batched prepared-path Monte-Carlo with per-shard
+//     scratch (SlackEstimator), per-frequency CCDF lookup tables built
+//     once at construction (dvfs/vp_table.h), and memoized per-pair path
+//     enumeration shared across the K candidates (topo/path_catalog.h) —
+//     plus placement deduplication: K candidates that consolidate to the
+//     same routing share one slack estimate.
+// Every fast path reproduces the reference arithmetic and RNG stream bit
+// for bit, so the chosen plan is byte-identical for any thread count and
+// any PlanRequest knob combination (asserted by tests/fastpath_test.cpp).
 #pragma once
 
 #include <memory>
@@ -25,7 +33,9 @@
 #include "core/server_power_predictor.h"
 #include "core/slack_estimator.h"
 #include "dvfs/service_model.h"
+#include "dvfs/vp_table.h"
 #include "power/server_power.h"
+#include "topo/path_catalog.h"
 #include "topo/topology.h"
 #include "util/thread_pool.h"
 
@@ -102,11 +112,43 @@ struct JointPlan {
   Power total_power = 0.0;
 };
 
+/// One planning request: everything optimize() needs for a call, plus
+/// per-call knobs selecting the fast or the retained reference
+/// implementation of each optimized subsystem. The knobs exist for
+/// differential testing and for bisecting a determinism regression
+/// (docs/DETERMINISM.md): every knob combination returns a byte-identical
+/// JointPlan — only the wall-clock differs.
+struct PlanRequest {
+  /// The background (non-query) traffic to place. Required; not owned.
+  const FlowSet* background = nullptr;
+  /// Target per-core utilization (defined at f_max).
+  double utilization = 0.0;
+  /// Optional per-call constraints (surviving subnet, blocked links,
+  /// raised K floor) — the emergency re-plan path fills these.
+  PlanConstraints constraints;
+  /// Previous epoch's plan for warm-started incremental planning (see
+  /// IncrementalPlanningConfig); nullptr — or incremental planning
+  /// disabled — runs the cold K sweep. Not owned.
+  const JointPlan* previous = nullptr;
+  /// Per-sample Monte-Carlo path walks instead of the batched
+  /// prepared-path sampler, and a per-candidate slack estimate instead of
+  /// the sweep's placement-deduplicated batch.
+  bool use_reference_slack = false;
+  /// Per-decision equivalent-work convolution lookups instead of the
+  /// precomputed per-frequency CCDF tables.
+  bool use_reference_dvfs = false;
+  /// Per-call Topology::all_paths() enumeration instead of the memoized
+  /// PathCatalog.
+  bool use_reference_enumeration = false;
+};
+
 class JointOptimizer {
  public:
   /// `consolidator` selects the placement strategy (greedy bin-packing by
   /// default; inject a MilpConsolidator for exact placement). The pointee
   /// must outlive the optimizer and be thread-safe (see Consolidator).
+  /// Construction eagerly builds the DVFS CCDF tables (one FFT batch per
+  /// queue depth up to predictor.max_queue_depth).
   JointOptimizer(const Topology* topo, const ServiceModel* service_model,
                  const ServerPowerModel* power_model,
                  JointOptimizerConfig config = {},
@@ -119,49 +161,78 @@ class JointOptimizer {
   JointPlan plan_for_k(const FlowSet& background, double utilization,
                        double k) const;
 
-  /// Full K search: minimum predicted total power among feasible plans.
-  /// If no K is latency-feasible, returns the plan with the lowest
-  /// predicted tail latency, marked infeasible. Candidates are evaluated
-  /// in parallel when config.runtime.threads > 1; the result is
-  /// bit-identical to the serial search.
-  JointPlan optimize(const FlowSet& background, double utilization) const;
+  /// The single planning entry point. Cold request (no usable `previous`):
+  /// full K search, minimum predicted total power among feasible plans; if
+  /// no K is latency-feasible, returns the plan with the lowest predicted
+  /// tail latency, marked infeasible. With incremental planning enabled
+  /// and a feasible `previous`, first re-evaluates only the previous
+  /// epoch's K with the consolidator warm-started from the previous
+  /// routing, short-circuiting the sweep when it is still feasible;
+  /// evaluated plans land in (and are first looked up from) the PlanCache.
+  /// Candidates are evaluated in parallel when config.runtime.threads > 1;
+  /// the result is bit-identical for any thread count and any
+  /// use_reference_* knob combination.
+  JointPlan optimize(const PlanRequest& request) const;
 
-  /// As above, restricted by `constraints` (surviving subnet, blocked
-  /// links, raised K floor) — the emergency re-plan entry point.
+  /// Deprecated compatibility shims over optimize(const PlanRequest&).
+  [[deprecated("build a PlanRequest and call optimize(const PlanRequest&)")]]
+  JointPlan optimize(const FlowSet& background, double utilization) const;
+  [[deprecated("build a PlanRequest and call optimize(const PlanRequest&)")]]
   JointPlan optimize(const FlowSet& background, double utilization,
                      const PlanConstraints& constraints) const;
-
-  /// Incremental search: when `config().incremental.enabled` and `previous`
-  /// is a feasible plan, first re-evaluates only the previous epoch's K
-  /// with the consolidator warm-started from the previous routing (dirty
-  /// flows re-packed, clean flows kept). If that single candidate is
-  /// latency-feasible it short-circuits the full K sweep; otherwise the
-  /// planner logs the fallback and runs the cold search. Evaluated plans
-  /// land in (and are first looked up from) the PlanCache, so re-planning
-  /// the same demands under the same constraints is a cache hit. A null
-  /// `previous` — or incremental planning disabled — degrades to the cold
-  /// search above.
+  [[deprecated("build a PlanRequest and call optimize(const PlanRequest&)")]]
   JointPlan optimize(const FlowSet& background, double utilization,
                      const PlanConstraints& constraints,
                      const JointPlan* previous) const;
 
  private:
-  /// `slack_pool` parallelizes the slack estimator's shards;
+  /// Background + query flows assembled once per optimize() call and
+  /// shared (read-only) by every K candidate.
+  struct Assembly;
+  /// The PlanRequest escape hatches, threaded through the pipeline.
+  struct ReferenceKnobs {
+    bool slack = false;
+    bool dvfs = false;
+    bool enumeration = false;
+  };
+
+  Assembly assemble_flows(const FlowSet& background) const;
+
+  /// Consolidates one candidate into `plan` (k, flows, placement,
+  /// network_power). `constraints`/`warm` may be null.
+  void consolidate_into(JointPlan& plan, const Assembly& assembly, double k,
+                        const PlanConstraints* constraints,
+                        const WarmStartHint* warm,
+                        bool reference_enumeration) const;
+
+  /// Offered load of the plan's placement at actual (unreserved) query
+  /// rates — the slack estimator's input.
+  LinkUtilization offered_load_for(const JointPlan& plan,
+                                   double utilization) const;
+
+  /// Budget split, server power prediction, feasibility classification and
+  /// per-candidate telemetry; requires plan.slack to be filled in.
+  void finalize_plan(JointPlan& plan, double utilization,
+                     bool reference_dvfs) const;
+
+  /// Full per-candidate pipeline (consolidate + slack + finalize) for one
+  /// K. `slack_pool` parallelizes the slack estimator's shards;
   /// `serial_slack` forces shard-serial estimation (used when the K
   /// candidates themselves already occupy the pool). Neither affects the
-  /// returned plan, only how fast it is computed. `constraints` may be
-  /// null (unconstrained). `warm` (may be null) is forwarded to the
-  /// consolidator's incremental entry point.
-  JointPlan plan_impl(const FlowSet& background, double utilization,
-                      double k, ThreadPool* slack_pool, bool serial_slack,
+  /// returned plan, only how fast it is computed.
+  JointPlan plan_impl(const Assembly& assembly, double utilization, double k,
+                      ThreadPool* slack_pool, bool serial_slack,
                       const PlanConstraints* constraints,
-                      const WarmStartHint* warm) const;
+                      const WarmStartHint* warm,
+                      const ReferenceKnobs& knobs) const;
 
-  /// The cold full K sweep shared by every optimize() overload. `cache_key`
-  /// (may be null) enables per-candidate PlanCache probes before the
-  /// parallel region and candidate-order inserts after it.
-  JointPlan cold_search(const FlowSet& background, double utilization,
-                        const PlanConstraints& constraints,
+  /// The cold full K sweep. The fast shape consolidates all candidates,
+  /// deduplicates identical placements, batch-estimates slack once per
+  /// unique placement, then finalizes per candidate; with
+  /// use_reference_slack the retained per-candidate pipeline runs instead.
+  /// `cache_key` (may be null) enables per-candidate PlanCache probes
+  /// before the parallel region and candidate-order inserts after it.
+  JointPlan cold_search(const Assembly& assembly, const PlanRequest& request,
                         const PlanCacheKey* cache_key) const;
 
   const Topology* topo_;
@@ -171,6 +242,14 @@ class JointOptimizer {
   GreedyConsolidator default_consolidator_;
   const Consolidator* consolidator_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Memoized per-pair path enumeration shared by every consolidate call
+  /// (thread-safe; entries fill on first use).
+  PathCatalog path_catalog_;
+  /// Per-frequency CCDF tables for the predictor's frequency scan, built
+  /// eagerly at construction — which also pre-warms the service model's
+  /// convolution cache so the reference predictor path is read-only under
+  /// the parallel sweep.
+  std::unique_ptr<VpTable> vp_table_;
   /// Probed/filled only from serial sections of optimize(), so its contents
   /// and counters are independent of the worker count.
   mutable PlanCache plan_cache_;

@@ -7,10 +7,12 @@ namespace eprons {
 
 ServerPowerPredictor::ServerPowerPredictor(const ServiceModel* service_model,
                                            const ServerPowerModel* power_model,
-                                           ServerPowerPredictorConfig config)
+                                           ServerPowerPredictorConfig config,
+                                           const VpTable* vp_table)
     : service_model_(service_model),
       power_model_(power_model),
-      config_(config) {}
+      config_(config),
+      vp_table_(vp_table) {}
 
 ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
                                                     SimTime budget) const {
@@ -28,19 +30,31 @@ ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
 
   // Frequency a statistical policy would pick: the equivalent request (the
   // arrival plus everything estimated ahead of it) must meet the budget at
-  // the target violation probability.
-  const DiscreteDistribution& equivalent =
-      service_model_->fresh_convolution(depth);
+  // the target violation probability. The grid scan stays linear in both
+  // branches — the first qualifying frequency must win identically.
   const auto& grid = service_model_->frequency_grid();
   Freq chosen = grid.back();
   bool found = false;
-  for (Freq f : grid) {
-    const double vp = service_model_->violation_probability(
-        equivalent, 0.0, budget, f);
-    if (vp <= config_.target_vp) {
-      chosen = f;
-      found = true;
-      break;
+  if (vp_table_ != nullptr && depth <= vp_table_->max_depth()) {
+    for (std::size_t fi = 0; fi < grid.size(); ++fi) {
+      if (vp_table_->violation_probability(depth, budget, fi) <=
+          config_.target_vp) {
+        chosen = grid[fi];
+        found = true;
+        break;
+      }
+    }
+  } else {
+    const DiscreteDistribution& equivalent =
+        service_model_->fresh_convolution(depth);
+    for (Freq f : grid) {
+      const double vp = service_model_->violation_probability(
+          equivalent, 0.0, budget, f);
+      if (vp <= config_.target_vp) {
+        chosen = f;
+        found = true;
+        break;
+      }
     }
   }
   out.budget_infeasible = !found;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "dvfs/service_model.h"
+#include "dvfs/vp_table.h"
 #include "power/server_power.h"
 
 namespace eprons {
@@ -46,10 +47,17 @@ struct ServerPowerPredictorConfig {
 /// request?" without simulating (section IV-A's parameterized model).
 class ServerPowerPredictor {
  public:
-  /// Both models must outlive the predictor (not owned).
+  /// All pointees must outlive the predictor (not owned). `vp_table` (may
+  /// be null) short-circuits the frequency scan through precomputed
+  /// per-frequency CCDF tables (dvfs/vp_table.h); it must be built over
+  /// `service_model`. With a table covering the estimated queue depth the
+  /// scan does no convolution work at all; without one (or beyond its
+  /// depth) the reference per-decision convolution lookup runs instead.
+  /// Both paths pick the same frequency bit for bit.
   ServerPowerPredictor(const ServiceModel* service_model,
                        const ServerPowerModel* power_model,
-                       ServerPowerPredictorConfig config = {});
+                       ServerPowerPredictorConfig config = {},
+                       const VpTable* vp_table = nullptr);
 
   /// Predicts power for one server at `utilization` (at f_max) with
   /// per-request server time budget `budget` us.
@@ -59,6 +67,7 @@ class ServerPowerPredictor {
   const ServiceModel* service_model_;
   const ServerPowerModel* power_model_;
   ServerPowerPredictorConfig config_;
+  const VpTable* vp_table_;
 };
 
 }  // namespace eprons

@@ -12,6 +12,25 @@
 // without losing reproducibility: the estimate is a pure function of
 // (seed, shards, samples_per_pair) and never of the worker count — the
 // serial path runs the same shards in the same merge order.
+//
+// Draws come in ANTITHETIC PAIRS: one raw uniform per hop drives samples
+// 2it (through u) and 2it+1 (through 1-u), halving RNG consumption while
+// keeping every sample's marginal distribution exact, and the burst draws
+// ride on their branch uniform via the composition trick (see
+// LinkLatencyModel::combine_hop_pair). Iterations proceed in fixed blocks:
+// each block pre-draws its exponential uniforms in (iteration, hop) order,
+// batch-evaluates their logs, then combines per hop — drawing the burst
+// and collision uniforms in the same (iteration, hop) order — so the whole
+// scheme, block size included, is part of the result definition.
+//
+// Two samplers share that skeleton. The default (fast) path prepares each
+// pair's per-hop constants once (net/path_latency.h PreparedHop) and runs
+// the logs through the vectorized stats/fast_log block; the reference
+// sampler re-derives the constants — two directed-utilization lookups per
+// hop — on every iteration and takes scalar logs. Both consume the same
+// RNG stream and produce the same bits (SIMD lanes run the identical IEEE
+// op sequence); `reference_sampling` exists for differential tests and for
+// bisecting a determinism regression (docs/DETERMINISM.md).
 #pragma once
 
 #include <vector>
@@ -43,13 +62,52 @@ struct SlackEstimatorConfig {
   RuntimeConfig runtime;
 };
 
-/// Samples latency over every (request, reply) flow-path pair given in
-/// `request_flows` / `reply_flows` (parallel arrays of FlowIds into the
-/// placement). Pairs with unrouted paths are skipped.
-///
-/// When `pool` is non-null the shards run on it; otherwise a pool is
-/// created for the call when config.runtime.threads > 1, else the shards
-/// run serially. All three modes return bit-identical estimates.
+/// The Monte-Carlo estimator behind one seam: single-shot and batch
+/// callers share the same sharding, seeding and merge discipline, so any
+/// future caller inherits the determinism contract instead of re-rolling
+/// an ad-hoc sampling loop.
+class SlackEstimator {
+ public:
+  explicit SlackEstimator(SlackEstimatorConfig config = {});
+
+  const SlackEstimatorConfig& config() const { return config_; }
+
+  /// One placement to estimate: latency is sampled over every routed
+  /// (request, reply) flow-path pair given in `request_flows` /
+  /// `reply_flows` (parallel arrays of FlowIds into the placement);
+  /// pairs with unrouted paths are skipped. All pointees are borrowed for
+  /// the duration of the call.
+  struct Query {
+    const ConsolidationResult* placement = nullptr;
+    const LinkUtilization* offered_load = nullptr;
+    const std::vector<FlowId>* request_flows = nullptr;
+    const std::vector<FlowId>* reply_flows = nullptr;
+  };
+
+  /// Estimates one placement (routes through estimate_many, so single-shot
+  /// callers exercise the same code path as the batch). When `pool` is
+  /// non-null the shards run on it; otherwise a pool is created for the
+  /// call when config.runtime.threads > 1, else the shards run serially.
+  /// All modes — and both samplers — return bit-identical estimates.
+  SlackEstimate estimate(const Query& query, ThreadPool* pool = nullptr,
+                         bool reference_sampling = false) const;
+
+  /// Batch entry point: estimates every query, parallelizing over
+  /// (query, shard) units, so a K sweep with deduplicated placements keeps
+  /// every worker busy even when only one unique placement remains. Each
+  /// query is seeded exactly as a standalone estimate() — result i is
+  /// bit-identical to estimate(queries[i]).
+  std::vector<SlackEstimate> estimate_many(const std::vector<Query>& queries,
+                                           ThreadPool* pool = nullptr,
+                                           bool reference_sampling =
+                                               false) const;
+
+ private:
+  SlackEstimatorConfig config_;
+};
+
+/// Single-shot compatibility wrapper over SlackEstimator::estimate (the
+/// original free-function entry point; prefer the class for new callers).
 SlackEstimate estimate_network_slack(const Graph& graph,
                                      const ConsolidationResult& placement,
                                      const LinkUtilization& offered_load,

@@ -82,8 +82,10 @@ CalibrationPoint TraceReplay::calibrate_point(Scheme scheme,
       // The joint optimizer picks K (and thus the subnet) for this epoch.
       const JointOptimizer optimizer(topo_, service_model_, power_model_,
                                      config_.joint);
-      const JointPlan plan =
-          optimizer.optimize(background, point.utilization);
+      PlanRequest request;
+      request.background = &background;
+      request.utilization = point.utilization;
+      const JointPlan plan = optimizer.optimize(request);
       point.chosen_k = plan.k;
       point.plan_feasible = plan.feasible;
       point.predicted_total = plan.total_power;

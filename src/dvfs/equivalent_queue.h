@@ -11,6 +11,12 @@
 //     is replaced by its conditional remaining-work distribution R0e, and
 //     R_ie = R0e * work^(*i) — the n convolutions the paper accounts for
 //     as scheduling overhead.
+//
+// The planner never builds one of these: its per-K DVFS decisions go
+// through the precomputed per-frequency CCDF tables in dvfs/vp_table.h
+// (fresh-case equivalents only — a planning-time prediction sees no
+// partially-served request). The DES policies keep using this class; its
+// fresh case reads the same ServiceModel cache the VpTable pre-warms.
 #pragma once
 
 #include <vector>

@@ -61,7 +61,11 @@ class ServiceModel {
                                SimTime now, SimTime deadline, Freq f) const;
 
   /// Work distribution of `count` fresh queued requests back to back
-  /// (count >= 1). Cached; thread-unsafe by design (one per core policy).
+  /// (count >= 1). Cached; growing the cache is thread-unsafe by design
+  /// (one model per core policy in the DES). Shared read-side callers —
+  /// the parallel planner — must pre-warm the cache to their deepest depth
+  /// first; constructing a VpTable (dvfs/vp_table.h) over the model does
+  /// exactly that, after which calls at warmed depths are read-only.
   const DiscreteDistribution& fresh_convolution(std::size_t count) const;
 
  private:

@@ -1,0 +1,30 @@
+#include "dvfs/vp_table.h"
+
+#include <stdexcept>
+
+namespace eprons {
+
+VpTable::VpTable(const ServiceModel* model, std::size_t max_depth)
+    : model_(model) {
+  if (max_depth == 0) {
+    throw std::invalid_argument("VpTable max_depth must be >= 1");
+  }
+  equivalents_.reserve(max_depth);
+  for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+    // Copies (not pointers into the model's cache): the cache vector may
+    // reallocate if someone later asks the model for a deeper convolution.
+    equivalents_.push_back(model_->fresh_convolution(depth));
+  }
+  // The exact per-cycle cost expression from ServiceModel::work_capacity,
+  // cached per grid frequency. Keeping the later budget / per_cycle_us as
+  // a division (not a reciprocal multiply) preserves bit-equality with the
+  // reference path.
+  const double mu = model_->config().freq_independent_fraction;
+  per_cycle_us_.reserve(model_->frequency_grid().size());
+  for (Freq f : model_->frequency_grid()) {
+    per_cycle_us_.push_back(
+        ((1.0 - mu) / f + mu / model_->config().f_max) / kCyclesPerUsPerGHz);
+  }
+}
+
+}  // namespace eprons

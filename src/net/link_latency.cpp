@@ -76,6 +76,22 @@ SimTime LinkLatencyModel::sample_latency(double utilization, Rng& rng) const {
   return config_.base_latency_us + std::min(queueing, cap);
 }
 
+PreparedHop LinkLatencyModel::prepare_hop(double utilization,
+                                          double bursty_utilization) const {
+  // Mirror sample_latency(utilization, rng) term by term: same clamps,
+  // same expression order, so the precomputed doubles are the very values
+  // the per-sample path would recompute.
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  PreparedHop hop;
+  hop.sojourn_mean = sojourn_mean(utilization);
+  hop.cap = packet_service_time() * config_.buffer_packets;
+  const double t = burst_intensity(utilization);
+  hop.p_burst = config_.burst_coeff * t * t;
+  hop.burst_window = t * hop.cap;
+  hop.bursty = std::clamp(bursty_utilization, 0.0, 1.0);
+  return hop;
+}
+
 SimTime LinkLatencyModel::max_latency() const {
   return config_.base_latency_us +
          packet_service_time() * config_.buffer_packets;

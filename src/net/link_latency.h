@@ -15,10 +15,33 @@
 // the 95th/99th percentile figures.
 #pragma once
 
+#include <algorithm>
+
+#include "stats/fast_log.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace eprons {
+
+/// Per-hop sampling constants, precomputed from a hop's (utilization,
+/// bursty utilization) pair. sample_latency() derives all five values
+/// afresh on every draw; a PreparedHop hoists that work out of the
+/// sampling loop so the slack estimator's Monte-Carlo pays it once per
+/// path instead of once per sample. The values are computed by the exact
+/// expressions sample_latency() uses, so drawing from a PreparedHop is
+/// bit-identical to the per-sample path (see LinkLatencyModel::prepare_hop).
+struct PreparedHop {
+  /// Mean M/M/1 sojourn at this hop's utilization, us (exponential mean).
+  SimTime sojourn_mean = 0.0;
+  /// Full-buffer queueing cap, us.
+  SimTime cap = 0.0;
+  /// Probability of landing behind a standing burst (burst_coeff * t^2).
+  double p_burst = 0.0;
+  /// Standing-burst delay upper bound t * cap, us.
+  SimTime burst_window = 0.0;
+  /// Clamped elephant duty cycle (collision probability).
+  double bursty = 0.0;
+};
 
 struct LinkLatencyConfig {
   Bandwidth capacity_mbps = 1000.0;
@@ -70,6 +93,93 @@ class LinkLatencyModel {
   /// the duty cycle of line-rate background trains on this link.
   SimTime sample_latency(double utilization, double bursty_utilization,
                          Rng& rng) const;
+
+  /// Precomputes the sampling constants of one hop. Contract:
+  /// sample_prepared(prepare_hop(u, b), rng) consumes the same RNG draws
+  /// and returns the same bits as sample_latency(u, b, rng).
+  PreparedHop prepare_hop(double utilization, double bursty_utilization) const;
+
+  /// Draws one per-hop latency from precomputed constants. Inline: this is
+  /// the innermost statement of the planner's Monte-Carlo.
+  SimTime sample_prepared(const PreparedHop& hop, Rng& rng) const {
+    SimTime queueing = rng.exponential(hop.sojourn_mean);
+    if (hop.p_burst > 0.0 && rng.bernoulli(hop.p_burst)) {
+      // Landed behind a standing burst of background packets.
+      queueing += rng.uniform(0.0, hop.burst_window);
+    }
+    SimTime latency = config_.base_latency_us + std::min(queueing, hop.cap);
+    if (hop.bursty > 0.0 && rng.bernoulli(hop.bursty)) {
+      // Collided with an elephant train: wait out its residual.
+      latency += rng.uniform(0.0, config_.burst_len_us);
+    }
+    return latency;
+  }
+
+  /// Draws one ANTITHETIC PAIR of per-hop latencies — the slack
+  /// estimator's innermost statement. Classic Monte-Carlo variance
+  /// reduction: each raw uniform u drives two samples, one through u and
+  /// one through 1-u, so a draw pair costs one RNG advance + two log
+  /// evaluations instead of two of each; the negative correlation between
+  /// partners tightens the mean estimate for free. Burst draws use the
+  /// composition trick — conditional on u < p, u/p is itself an exact
+  /// U(0,1), so the burst position rides on the branch uniform instead of
+  /// consuming another draw. Every sample's marginal distribution is
+  /// exactly the per-draw model's (base + min(Exp + burst, cap) +
+  /// collision residual); only the pairing is correlated.
+  ///
+  /// Bit-exactness contract: the reference (per-sample re-derivation) and
+  /// fast (prepared) path samplers both funnel into this one function, so
+  /// they agree bit for bit by construction. fast_log (not std::log) keeps
+  /// the transform's bits owned by this repo, not the host libm.
+  void sample_hop_pair(const PreparedHop& hop, Rng& rng, SimTime* even,
+                       SimTime* odd) const {
+    double u = rng.uniform();
+    while (u == 0.0) u = rng.uniform();
+    // u in (0,1) and 1-u in (0,1]; fast_log(1) == 0 is a valid Exp draw.
+    double log_e;
+    double log_o;
+    fast_log_pair(u, 1.0 - u, &log_e, &log_o);
+    combine_hop_pair(hop, log_e, log_o, rng, even, odd);
+  }
+
+  /// The pair core AFTER the exponential logs: turns (log u, log(1-u))
+  /// into the antithetic latency pair, drawing the hop's burst and
+  /// collision uniforms from `rng` in the fixed order (burst, collision).
+  /// Split out so the slack estimator can batch the log evaluations
+  /// through fast_log_block and still combine through the exact operation
+  /// sequence sample_hop_pair uses — the shared core that makes the fast
+  /// and reference samplers bit-identical.
+  void combine_hop_pair(const PreparedHop& hop, double log_e, double log_o,
+                        Rng& rng, SimTime* even, SimTime* odd) const {
+    SimTime queue_e = hop.sojourn_mean * -log_e;
+    SimTime queue_o = hop.sojourn_mean * -log_o;
+    if (hop.p_burst > 0.0) {
+      const double b = rng.uniform();
+      if (b < hop.p_burst) {
+        // Landed behind a standing burst of background packets.
+        queue_e += (b / hop.p_burst) * hop.burst_window;
+      }
+      const double bo = 1.0 - b;
+      if (bo < hop.p_burst) {
+        queue_o += (bo / hop.p_burst) * hop.burst_window;
+      }
+    }
+    SimTime lat_e = config_.base_latency_us + std::min(queue_e, hop.cap);
+    SimTime lat_o = config_.base_latency_us + std::min(queue_o, hop.cap);
+    if (hop.bursty > 0.0) {
+      const double t = rng.uniform();
+      if (t < hop.bursty) {
+        // Collided with an elephant train: wait out its residual.
+        lat_e += (t / hop.bursty) * config_.burst_len_us;
+      }
+      const double to = 1.0 - t;
+      if (to < hop.bursty) {
+        lat_o += (to / hop.bursty) * config_.burst_len_us;
+      }
+    }
+    *even = lat_e;
+    *odd = lat_o;
+  }
 
   /// Mean including the burst-collision expectation (for planning).
   SimTime mean_latency(double utilization, double bursty_utilization) const;

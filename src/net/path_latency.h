@@ -6,6 +6,8 @@
 // EPRONS-Server receives the measured slack.
 #pragma once
 
+#include <vector>
+
 #include "net/link_latency.h"
 #include "net/link_utilization.h"
 #include "topo/graph.h"
@@ -25,6 +27,53 @@ class PathLatencyEstimator {
 
   /// Draws one packet's end-to-end latency along `path`.
   SimTime sample_latency(const Path& path, Rng& rng) const;
+
+  /// Precomputes the per-hop sampling constants of `path` into `out`
+  /// (cleared first; pass the same scratch vector across calls to reuse
+  /// its capacity). The constants depend only on the path and the current
+  /// link utilizations — the two directed-utilization lookups per hop that
+  /// sample_latency() repeats on every draw happen exactly once here.
+  void prepare(const Path& path, std::vector<PreparedHop>* out) const;
+
+  /// Draws one end-to-end latency from prepared hops. Consumes the RNG
+  /// stream exactly as sample_latency(path, rng) does, so both samplers
+  /// return bit-identical values from equal RNG states (the fast/reference
+  /// parity the differential tests assert).
+  SimTime sample_prepared(const std::vector<PreparedHop>& hops,
+                          Rng& rng) const {
+    SimTime total = 0.0;
+    for (const PreparedHop& hop : hops) {
+      total += model_.sample_prepared(hop, rng);
+    }
+    return total;
+  }
+
+  /// Draws one antithetic PAIR of end-to-end latencies from prepared hops
+  /// (see LinkLatencyModel::sample_hop_pair). Both partners accumulate
+  /// their hops in path order, so the pair's bits depend only on the RNG
+  /// state and the prepared constants — the slack estimator's fast path.
+  void sample_prepared_pair(const std::vector<PreparedHop>& hops, Rng& rng,
+                            SimTime* even, SimTime* odd) const {
+    SimTime total_e = 0.0;
+    SimTime total_o = 0.0;
+    SimTime hop_e;
+    SimTime hop_o;
+    for (const PreparedHop& hop : hops) {
+      model_.sample_hop_pair(hop, rng, &hop_e, &hop_o);
+      total_e += hop_e;
+      total_o += hop_o;
+    }
+    *even = total_e;
+    *odd = total_o;
+  }
+
+  /// Reference twin of sample_prepared_pair: re-derives each hop's
+  /// sampling constants from the live utilization tables on every draw
+  /// pair (the pre-PreparedHop per-sample walk). Funnels into the same
+  /// sample_hop_pair core, so it consumes the RNG identically and returns
+  /// bit-identical pairs — the oracle the differential tests diff against.
+  void sample_pair(const Path& path, Rng& rng, SimTime* even,
+                   SimTime* odd) const;
 
   /// Worst possible latency along `path` (all buffers full).
   SimTime max_latency(const Path& path) const;

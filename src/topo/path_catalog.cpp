@@ -1,0 +1,52 @@
+#include "topo/path_catalog.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eprons {
+
+PathCatalog::PathCatalog(const Topology* topo)
+    : topo_(topo),
+      hosts_(topo->num_hosts()),
+      entries_(static_cast<std::size_t>(hosts_) *
+               static_cast<std::size_t>(hosts_)) {}
+
+const std::vector<CatalogPath>& PathCatalog::pair(int src_host,
+                                                  int dst_host) const {
+  if (src_host < 0 || src_host >= hosts_ || dst_host < 0 ||
+      dst_host >= hosts_) {
+    throw std::out_of_range("PathCatalog::pair: host index out of range");
+  }
+  Entry& entry = entries_[static_cast<std::size_t>(src_host) *
+                              static_cast<std::size_t>(hosts_) +
+                          static_cast<std::size_t>(dst_host)];
+  std::call_once(entry.once, [&] {
+    const Graph& graph = topo_->graph();
+    std::vector<CatalogPath> annotated;
+    for (Path& path : topo_->all_paths(src_host, dst_host)) {
+      CatalogPath cp;
+      cp.nodes = std::move(path);
+      const std::size_t hops = cp.nodes.size() < 2 ? 0 : cp.nodes.size() - 1;
+      cp.arc_slots.reserve(hops);
+      cp.links.reserve(hops);
+      cp.host_adjacent.reserve(hops);
+      for (std::size_t h = 0; h + 1 < cp.nodes.size(); ++h) {
+        const LinkId lid = graph.find_link(cp.nodes[h], cp.nodes[h + 1]);
+        const bool forward = graph.link(lid).a == cp.nodes[h];
+        cp.arc_slots.push_back(static_cast<std::uint32_t>(lid) * 2 +
+                               (forward ? 0u : 1u));
+        cp.links.push_back(lid);
+        cp.host_adjacent.push_back(!graph.is_switch(cp.nodes[h]) ||
+                                   !graph.is_switch(cp.nodes[h + 1]));
+      }
+      for (NodeId n : cp.nodes) {
+        if (graph.is_switch(n)) cp.switches.push_back(n);
+      }
+      annotated.push_back(std::move(cp));
+    }
+    entry.paths = std::move(annotated);
+  });
+  return entry.paths;
+}
+
+}  // namespace eprons

@@ -1,0 +1,68 @@
+// Memoized, annotated path enumeration shared across planner calls.
+//
+// Topology::all_paths(src, dst) is a pure function of the wiring, yet the
+// greedy packer re-enumerates it — and re-resolves every hop through
+// Graph::find_link — once per flow per consolidate() call, i.e. once per K
+// candidate per epoch. A PathCatalog enumerates each host pair exactly once
+// (on first use, thread-safely) and precomputes the per-hop constants the
+// consolidators need, so the K sweep's path work collapses to array reads.
+//
+// The cached list preserves Topology::all_paths order exactly; filtering it
+// by an allowed-switch or blocked-link mask yields the same candidate
+// sequence as Topology::active_paths followed by the blocked-link erase
+// (both topologies implement active_paths as an order-preserving filter of
+// all_paths). That order equivalence is what keeps catalog-backed packing
+// byte-identical to reference enumeration (docs/DETERMINISM.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace eprons {
+
+/// One enumerated path plus the per-hop/per-node constants consolidation
+/// re-derives from the Graph on every visit.
+struct CatalogPath {
+  /// The node sequence, exactly as Topology::all_paths returned it.
+  Path nodes;
+  /// Per hop: directed-arc slot (LinkId * 2, +1 for the b->a direction) —
+  /// the residual-capacity index the greedy packer charges.
+  std::vector<std::uint32_t> arc_slots;
+  /// Per hop: the undirected link id (blocked-link filtering, activation).
+  std::vector<LinkId> links;
+  /// Per hop: true when either endpoint is a host (such hops are charged
+  /// the unscaled demand — no routing alternative exists there).
+  std::vector<std::uint8_t> host_adjacent;
+  /// The switch nodes on the path, in path order (subnet filtering and
+  /// MinimizeSwitches scoring).
+  std::vector<NodeId> switches;
+};
+
+class PathCatalog {
+ public:
+  /// The topology must outlive the catalog. Entries are built lazily, so
+  /// construction is O(hosts^2) pointers, not an enumeration of the fabric.
+  explicit PathCatalog(const Topology* topo);
+
+  const Topology& topology() const { return *topo_; }
+
+  /// The annotated all_paths(src_host, dst_host) list. First use per pair
+  /// enumerates and annotates under a std::call_once; later uses — from any
+  /// thread — are read-only. Host indices must be in [0, num_hosts).
+  const std::vector<CatalogPath>& pair(int src_host, int dst_host) const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::vector<CatalogPath> paths;
+  };
+
+  const Topology* topo_;
+  int hosts_;
+  mutable std::vector<Entry> entries_;  // hosts_ * hosts_, row-major by src
+};
+
+}  // namespace eprons

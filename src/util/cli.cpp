@@ -86,6 +86,15 @@ TableFormat table_format_from_cli(const Cli& cli) {
   return TableFormat::kPretty;
 }
 
+ReferenceFlags reference_flags_from_cli(const Cli& cli) {
+  ReferenceFlags flags;
+  const bool all = cli.has_flag("reference");
+  flags.slack = all || cli.has_flag("reference-slack");
+  flags.dvfs = all || cli.has_flag("reference-dvfs");
+  flags.enumeration = all || cli.has_flag("reference-enumeration");
+  return flags;
+}
+
 std::vector<std::string> Cli::unused() const {
   std::vector<std::string> names;
   for (const auto& [name, _] : values_) {

@@ -26,14 +26,31 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
 
   result_type operator()() { return next(); }
-  std::uint64_t next();
+
+  /// Core generator step. Inline — this sits in the innermost statement of
+  /// every sampler; pure integer ops, so inlining cannot change any bits.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Returns a new generator 2^128 steps ahead; use to derive independent
   /// streams for sub-components from one experiment seed.
   Rng split();
 
-  /// Uniform double in [0, 1).
-  double uniform();
+  /// Uniform double in [0, 1). Inline: one generator step and one exact
+  /// multiply by 2^-53 (a single IEEE operation — nothing to contract).
+  double uniform() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
   /// Uniform integer in [lo, hi] inclusive.
@@ -53,6 +70,10 @@ class Rng {
   std::int64_t poisson(double mean);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   void jump();
 
   std::array<std::uint64_t, 4> s_{};

@@ -1,0 +1,76 @@
+// Compatibility coverage for the deprecated JointOptimizer::optimize()
+// overloads. The shims forward to optimize(const PlanRequest&) and must
+// return byte-identical plans until they are removed; this file is the one
+// translation unit allowed to call them without a deprecation warning.
+#include <gtest/gtest.h>
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+#include "core/joint_optimizer.h"
+#include "dvfs/synthetic_workload.h"
+
+namespace eprons {
+namespace {
+
+TEST(CompatShims, DeprecatedOverloadsMatchPlanRequest) {
+  const FatTree topo(4);
+  Rng model_rng(31);
+  SyntheticWorkloadConfig workload;
+  workload.samples = 20000;
+  workload.bins = 256;
+  const ServiceModel model = make_search_service_model(workload, model_rng);
+  const ServerPowerModel power;
+  JointOptimizerConfig config;
+  config.slack.samples_per_pair = 150;
+  const JointOptimizer optimizer(&topo, &model, &power, config);
+
+  Rng rng(13);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 6, 0.2, 0.1, rng);
+
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = 0.3;
+  const JointPlan expected = optimizer.optimize(request);
+
+  // Shim 1: (background, utilization).
+  const JointPlan two_arg = optimizer.optimize(background, 0.3);
+  EXPECT_EQ(expected.k, two_arg.k);
+  EXPECT_EQ(expected.total_power, two_arg.total_power);
+  EXPECT_EQ(expected.placement.switch_on, two_arg.placement.switch_on);
+
+  // Shim 2: (background, utilization, constraints) — empty constraints
+  // behave exactly like none.
+  const JointPlan three_arg =
+      optimizer.optimize(background, 0.3, PlanConstraints{});
+  EXPECT_EQ(expected.k, three_arg.k);
+  EXPECT_EQ(expected.total_power, three_arg.total_power);
+  EXPECT_EQ(expected.placement.switch_on, three_arg.placement.switch_on);
+
+  // Shim 3: (background, utilization, constraints, previous) — a null
+  // previous plan keeps the cold sweep.
+  const JointPlan four_arg =
+      optimizer.optimize(background, 0.3, PlanConstraints{}, nullptr);
+  EXPECT_EQ(expected.k, four_arg.k);
+  EXPECT_EQ(expected.total_power, four_arg.total_power);
+  EXPECT_EQ(expected.placement.switch_on, four_arg.placement.switch_on);
+
+  // A real constraint must flow through the shim too: restrict placement
+  // to the full fabric minus nothing (all switches allowed) and expect the
+  // unconstrained plan back.
+  PlanConstraints all_allowed;
+  all_allowed.allowed_switches.assign(topo.graph().num_nodes(), true);
+  PlanRequest constrained_request = request;
+  constrained_request.constraints = all_allowed;
+  const JointPlan constrained_expected =
+      optimizer.optimize(constrained_request);
+  const JointPlan constrained_shim =
+      optimizer.optimize(background, 0.3, all_allowed);
+  EXPECT_EQ(constrained_expected.k, constrained_shim.k);
+  EXPECT_EQ(constrained_expected.total_power, constrained_shim.total_power);
+  EXPECT_EQ(constrained_expected.placement.switch_on,
+            constrained_shim.placement.switch_on);
+}
+
+}  // namespace
+}  // namespace eprons

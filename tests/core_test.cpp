@@ -149,6 +149,14 @@ JointOptimizerConfig fast_joint_config() {
   return config;
 }
 
+JointPlan optimize_plan(const JointOptimizer& optimizer,
+                        const FlowSet& background, double utilization) {
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = utilization;
+  return optimizer.optimize(request);
+}
+
 TEST(JointOptimizer, PrefersSmallSubnetWhenTrafficIsLight) {
   const FatTree topo(4);
   const ServiceModel model = core_model();
@@ -157,7 +165,7 @@ TEST(JointOptimizer, PrefersSmallSubnetWhenTrafficIsLight) {
   Rng rng(13);
   const FlowSet background =
       make_background_flows(FlowGenConfig{}, 4, 0.01, 0.0, rng);
-  const JointPlan plan = optimizer.optimize(background, 0.1);
+  const JointPlan plan = optimize_plan(optimizer, background, 0.1);
   ASSERT_TRUE(plan.feasible);
   // Light traffic: no reason to light up the whole fabric.
   EXPECT_LT(plan.placement.active_switches, 20);
@@ -174,8 +182,8 @@ TEST(JointOptimizer, HeavierBackgroundActivatesMoreSwitches) {
   Rng rng2(13);
   const FlowSet heavy =
       make_background_flows(FlowGenConfig{}, 12, 0.45, 0.0, rng2);
-  const JointPlan light_plan = optimizer.optimize(light, 0.3);
-  const JointPlan heavy_plan = optimizer.optimize(heavy, 0.3);
+  const JointPlan light_plan = optimize_plan(optimizer, light, 0.3);
+  const JointPlan heavy_plan = optimize_plan(optimizer, heavy, 0.3);
   EXPECT_GE(heavy_plan.placement.active_switches,
             light_plan.placement.active_switches);
 }
@@ -222,7 +230,7 @@ TEST(JointOptimizer, TotalPowerIncludesServersAndNetwork) {
   Rng rng(23);
   const FlowSet background =
       make_background_flows(FlowGenConfig{}, 4, 0.1, 0.0, rng);
-  const JointPlan plan = optimizer.optimize(background, 0.3);
+  const JointPlan plan = optimize_plan(optimizer, background, 0.3);
   ASSERT_TRUE(plan.feasible);
   EXPECT_NEAR(plan.total_power,
               plan.network_power + 16 * plan.server.server_power, 1e-6);
@@ -250,7 +258,7 @@ TEST(JointOptimizer, TelemetryMatchesReturnedPlan) {
     return it == snap.counters.end() ? 0u : it->second;
   };
 
-  const JointPlan plan = optimizer.optimize(background, 0.3);
+  const JointPlan plan = optimize_plan(optimizer, background, 0.3);
   const obs::MetricsSnapshot after = obs::metrics().snapshot();
 
   std::uint64_t expected_candidates = 0;
@@ -292,12 +300,12 @@ TEST(JointOptimizer, ParallelSearchMatchesSerialExactly) {
     JointOptimizerConfig serial_config = fast_joint_config();
     serial_config.slack.seed = seed;
     const JointOptimizer serial(&topo, &model, &power, serial_config);
-    const JointPlan a = serial.optimize(background, 0.3);
+    const JointPlan a = optimize_plan(serial, background, 0.3);
 
     JointOptimizerConfig parallel_config = serial_config;
     parallel_config.runtime.threads = 4;
     const JointOptimizer parallel(&topo, &model, &power, parallel_config);
-    const JointPlan b = parallel.optimize(background, 0.3);
+    const JointPlan b = optimize_plan(parallel, background, 0.3);
 
     EXPECT_EQ(a.feasible, b.feasible);
     EXPECT_EQ(a.k, b.k);
@@ -326,7 +334,7 @@ TEST(JointOptimizer, InjectedConsolidatorIsUsed) {
   Rng rng(5);
   const FlowSet background =
       make_background_flows(FlowGenConfig{}, 4, 0.1, 0.0, rng);
-  const JointPlan plan = optimizer.optimize(background, 0.2);
+  const JointPlan plan = optimize_plan(optimizer, background, 0.2);
   EXPECT_GT(plan.placement.active_switches, 0);
 }
 

@@ -1,0 +1,240 @@
+// Differential tests for the planner's fast paths (ISSUE 6 tentpole).
+//
+// The cold K sweep has three optimized subsystems — batched antithetic
+// Monte-Carlo slack estimation, per-frequency CCDF tables, and the memoized
+// PathCatalog — each with a retained reference implementation selectable
+// per PlanRequest. The contract: every knob combination, at every thread
+// count, returns a byte-identical JointPlan. These tests pin that contract
+// across seeds 1/42/99 and threads 1/4/8, and additionally pin the two
+// low-level parities it rests on (vectorized block logs == scalar logs;
+// prepared-hop pair sampler == per-sample reference walk).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "consolidate/greedy_consolidator.h"
+#include "core/joint_optimizer.h"
+#include "dvfs/synthetic_workload.h"
+#include "net/path_latency.h"
+#include "stats/fast_log.h"
+
+namespace eprons {
+namespace {
+
+ServiceModel fastpath_model() {
+  Rng rng(31);
+  SyntheticWorkloadConfig config;
+  config.samples = 20000;
+  config.bins = 256;
+  return make_search_service_model(config, rng);
+}
+
+// Byte-identity: every field that feeds a decision or a report. Doubles are
+// compared with ==, not a tolerance — the fast paths reproduce the
+// reference arithmetic bit for bit or they are wrong.
+void expect_plans_identical(const JointPlan& a, const JointPlan& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.feasible, b.feasible) << label;
+  EXPECT_EQ(a.k, b.k) << label;
+  EXPECT_EQ(a.placement.switch_on, b.placement.switch_on) << label;
+  EXPECT_EQ(a.placement.link_on, b.placement.link_on) << label;
+  EXPECT_EQ(a.placement.flow_paths, b.placement.flow_paths) << label;
+  EXPECT_EQ(a.placement.active_switches, b.placement.active_switches)
+      << label;
+  EXPECT_EQ(a.placement.network_power, b.placement.network_power) << label;
+  EXPECT_EQ(a.request_flow, b.request_flow) << label;
+  EXPECT_EQ(a.reply_flow, b.reply_flow) << label;
+  EXPECT_EQ(a.slack.request_mean, b.slack.request_mean) << label;
+  EXPECT_EQ(a.slack.request_p95, b.slack.request_p95) << label;
+  EXPECT_EQ(a.slack.total_mean, b.slack.total_mean) << label;
+  EXPECT_EQ(a.slack.total_p95, b.slack.total_p95) << label;
+  EXPECT_EQ(a.slack.total_p99, b.slack.total_p99) << label;
+  EXPECT_EQ(a.server.frequency, b.server.frequency) << label;
+  EXPECT_EQ(a.server.busy_fraction, b.server.busy_fraction) << label;
+  EXPECT_EQ(a.server.server_power, b.server.server_power) << label;
+  EXPECT_EQ(a.server.budget_infeasible, b.server.budget_infeasible) << label;
+  EXPECT_EQ(a.effective_server_budget, b.effective_server_budget) << label;
+  EXPECT_EQ(a.network_power, b.network_power) << label;
+  EXPECT_EQ(a.total_power, b.total_power) << label;
+}
+
+TEST(FastPath, ReferenceKnobsByteIdenticalAcrossSeedsAndThreads) {
+  const FatTree topo(4);
+  const ServiceModel model = fastpath_model();
+  const ServerPowerModel power;
+  for (const std::uint64_t seed : {1ull, 42ull, 99ull}) {
+    for (const int threads : {1, 4, 8}) {
+      JointOptimizerConfig config;
+      config.slack.samples_per_pair = 150;
+      config.slack.seed = seed;
+      config.runtime.threads = threads;
+      const JointOptimizer optimizer(&topo, &model, &power, config);
+
+      Rng rng(seed);
+      const FlowSet background =
+          make_background_flows(FlowGenConfig{}, 6, 0.2, 0.1, rng);
+      PlanRequest fast;
+      fast.background = &background;
+      fast.utilization = 0.3;
+      const JointPlan fast_plan = optimizer.optimize(fast);
+      ASSERT_TRUE(fast_plan.feasible);
+
+      // Each knob alone, then all three together (the full reference
+      // pipeline).
+      for (const int mask : {1, 2, 4, 7}) {
+        PlanRequest reference = fast;
+        reference.use_reference_slack = (mask & 1) != 0;
+        reference.use_reference_dvfs = (mask & 2) != 0;
+        reference.use_reference_enumeration = (mask & 4) != 0;
+        const JointPlan reference_plan = optimizer.optimize(reference);
+        expect_plans_identical(
+            fast_plan, reference_plan,
+            "seed=" + std::to_string(seed) +
+                " threads=" + std::to_string(threads) +
+                " knobs=" + std::to_string(mask));
+      }
+    }
+  }
+}
+
+TEST(FastPath, ThreadCountNeverChangesThePlan) {
+  // The worker count is an execution detail; seed and shard count are the
+  // only sampling inputs. threads=1 vs 4 vs 8 must agree bit for bit.
+  const FatTree topo(4);
+  const ServiceModel model = fastpath_model();
+  const ServerPowerModel power;
+  Rng rng(7);
+  const FlowSet background =
+      make_background_flows(FlowGenConfig{}, 8, 0.25, 0.1, rng);
+
+  JointPlan serial_plan;
+  for (const int threads : {1, 4, 8}) {
+    JointOptimizerConfig config;
+    config.slack.samples_per_pair = 150;
+    config.runtime.threads = threads;
+    const JointOptimizer optimizer(&topo, &model, &power, config);
+    PlanRequest request;
+    request.background = &background;
+    request.utilization = 0.3;
+    const JointPlan plan = optimizer.optimize(request);
+    if (threads == 1) {
+      serial_plan = plan;
+    } else {
+      expect_plans_identical(serial_plan, plan,
+                             "threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FastPath, BlockLogBitIdenticalToScalarLog) {
+  // The slack estimator's vectorized block logs must match the scalar
+  // fast_log lane for lane — SIMD lanes run the same IEEE op sequence.
+  Rng rng(12345);
+  std::vector<double> x(1024);
+  for (double& v : x) {
+    do {
+      v = rng.uniform();
+    } while (v == 0.0);
+  }
+
+  std::vector<double> block(x);
+  fast_log_block(block.data(), block.data(), block.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(block[i], fast_log(x[i])) << "i=" << i << " x=" << x[i];
+  }
+
+  std::vector<double> even(x);
+  std::vector<double> odd(x.size());
+  fast_log_block_antithetic(even.data(), even.data(), odd.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(even[i], fast_log(x[i])) << "i=" << i;
+    EXPECT_EQ(odd[i], fast_log(1.0 - x[i])) << "i=" << i;
+  }
+
+  // And fast_log itself must agree with libm to within 1 ulp (it is the
+  // fdlibm algorithm; measured max relative error is 2.2e-16).
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double exact = std::log(x[i]);
+    EXPECT_NEAR(fast_log(x[i]), exact, std::abs(exact) * 4.5e-16 + 1e-300)
+        << "x=" << x[i];
+  }
+}
+
+TEST(FastPath, PreparedPairSamplerMatchesReferenceWalk) {
+  // sample_prepared_pair (prepared-hop constants) and sample_pair (per-draw
+  // re-derivation) must consume the RNG identically and return identical
+  // bits — the core parity behind use_reference_slack.
+  const FatTree topo(4);
+  FlowSet flows;
+  const FlowId req = flows.add(0, 15, 10.0, FlowClass::LatencySensitive);
+  const FlowId rep = flows.add(15, 0, 40.0, FlowClass::LatencySensitive);
+  const GreedyConsolidator greedy(&topo);
+  const auto placement = greedy.consolidate(flows, ConsolidationConfig{});
+  ASSERT_TRUE(placement.feasible);
+
+  LinkUtilization load(&topo.graph());
+  load.add_path_load(placement.flow_paths[static_cast<std::size_t>(req)],
+                     500.0);
+  const PathLatencyEstimator estimator(&load, LinkLatencyModel{});
+
+  for (const FlowId flow : {req, rep}) {
+    const Path& path = placement.flow_paths[static_cast<std::size_t>(flow)];
+    std::vector<PreparedHop> hops;
+    estimator.prepare(path, &hops);
+
+    Rng fast_rng(99);
+    Rng reference_rng(99);
+    for (int draw = 0; draw < 256; ++draw) {
+      SimTime fast_even, fast_odd, reference_even, reference_odd;
+      estimator.sample_prepared_pair(hops, fast_rng, &fast_even, &fast_odd);
+      estimator.sample_pair(path, reference_rng, &reference_even,
+                            &reference_odd);
+      ASSERT_EQ(fast_even, reference_even) << "draw=" << draw;
+      ASSERT_EQ(fast_odd, reference_odd) << "draw=" << draw;
+    }
+  }
+}
+
+TEST(FastPath, BatchEstimateMatchesSingleShot) {
+  // estimate_many(queries)[i] must be bit-identical to estimate(queries[i])
+  // — the batch seam adds parallelism, never different numbers.
+  const FatTree topo(4);
+  Rng rng(5);
+  FlowSet flows;
+  std::vector<FlowId> request_flows;
+  std::vector<FlowId> reply_flows;
+  for (int host = 1; host <= 4; ++host) {
+    request_flows.push_back(
+        flows.add(0, host, 10.0, FlowClass::LatencySensitive));
+    reply_flows.push_back(
+        flows.add(host, 0, 20.0, FlowClass::LatencySensitive));
+  }
+  const GreedyConsolidator greedy(&topo);
+  const auto placement = greedy.consolidate(flows, ConsolidationConfig{});
+  ASSERT_TRUE(placement.feasible);
+  const LinkUtilization load = placement.offered_load(topo.graph(), flows);
+
+  SlackEstimatorConfig config;
+  config.samples_per_pair = 200;
+  const SlackEstimator estimator(config);
+  SlackEstimator::Query query;
+  query.placement = &placement;
+  query.offered_load = &load;
+  query.request_flows = &request_flows;
+  query.reply_flows = &reply_flows;
+
+  const std::vector<SlackEstimate> batch =
+      estimator.estimate_many({query, query});
+  const SlackEstimate single = estimator.estimate(query);
+  for (const SlackEstimate& est : batch) {
+    EXPECT_EQ(est.request_mean, single.request_mean);
+    EXPECT_EQ(est.request_p95, single.request_p95);
+    EXPECT_EQ(est.total_mean, single.total_mean);
+    EXPECT_EQ(est.total_p95, single.total_p95);
+    EXPECT_EQ(est.total_p99, single.total_p99);
+  }
+}
+
+}  // namespace
+}  // namespace eprons

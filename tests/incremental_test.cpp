@@ -480,16 +480,21 @@ TEST(JointOptimizerIncremental, WarmPlanMatchesColdPlanOnLowChurnEpochs) {
   epoch1.add(0, 12, 303.0, FlowClass::LatencyTolerant);  // +1%
   epoch1.add(5, 9, 200.0, FlowClass::LatencyTolerant);
 
-  const JointPlan cold0 = cold_opt.optimize(epoch0, 0.3);
-  const JointPlan warm0 =
-      warm_opt.optimize(epoch0, 0.3, PlanConstraints{}, nullptr);
+  PlanRequest request0;
+  request0.background = &epoch0;
+  request0.utilization = 0.3;
+  const JointPlan cold0 = cold_opt.optimize(request0);
+  const JointPlan warm0 = warm_opt.optimize(request0);
   ASSERT_TRUE(cold0.feasible);
   EXPECT_EQ(warm0.k, cold0.k);
   EXPECT_DOUBLE_EQ(warm0.total_power, cold0.total_power);
 
-  const JointPlan cold1 = cold_opt.optimize(epoch1, 0.3);
-  const JointPlan warm1 =
-      warm_opt.optimize(epoch1, 0.3, PlanConstraints{}, &warm0);
+  PlanRequest request1;
+  request1.background = &epoch1;
+  request1.utilization = 0.3;
+  const JointPlan cold1 = cold_opt.optimize(request1);
+  request1.previous = &warm0;
+  const JointPlan warm1 = warm_opt.optimize(request1);
   ASSERT_TRUE(cold1.feasible);
   ASSERT_TRUE(warm1.feasible);
   EXPECT_EQ(warm1.k, cold1.k);
@@ -509,10 +514,12 @@ TEST(JointOptimizerIncremental, RepeatedDemandsAreServedFromThePlanCache) {
   FlowSet flows;
   flows.add(0, 12, 300.0, FlowClass::LatencyTolerant);
 
-  const JointPlan first =
-      optimizer.optimize(flows, 0.3, PlanConstraints{}, nullptr);
-  const JointPlan again =
-      optimizer.optimize(flows, 0.3, PlanConstraints{}, &first);
+  PlanRequest request;
+  request.background = &flows;
+  request.utilization = 0.3;
+  const JointPlan first = optimizer.optimize(request);
+  request.previous = &first;
+  const JointPlan again = optimizer.optimize(request);
   EXPECT_EQ(again.k, first.k);
   EXPECT_DOUBLE_EQ(again.total_power, first.total_power);
   EXPECT_EQ(again.placement.switch_on, first.placement.switch_on);

@@ -45,7 +45,10 @@ TEST(Integration, HeadlineJointSavingsAtLowLoad) {
                                          base, &full);
 
   const JointOptimizer optimizer(&topo, &model, &power);
-  const JointPlan plan = optimizer.optimize(background, 0.1);
+  PlanRequest plan_request;
+  plan_request.background = &background;
+  plan_request.utilization = 0.1;
+  const JointPlan plan = optimizer.optimize(plan_request);
   ASSERT_TRUE(plan.feasible);
   ScenarioConfig joint = base;
   joint.cluster.policy = "eprons";

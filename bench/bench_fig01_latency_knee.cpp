@@ -8,6 +8,7 @@
 // request path) and report the mean and tail of the sampled latency.
 #include "bench_common.h"
 #include "net/link_latency.h"
+#include "sim/metrics.h"
 #include "stats/percentile.h"
 #include "util/rng.h"
 
@@ -35,15 +36,15 @@ int main(int argc, char** argv) {
     return total;
   };
 
-  Table table({"utilization_%", "mean_ms", "p95_ms", "p99_ms"});
+  Table table({"utilization_%", "mean_ms", "p50_ms", "p95_ms", "p99_ms"});
   table.set_precision(3);
   for (int pct = 0; pct <= 100; pct += 5) {
     const double util = pct / 100.0;
     PercentileEstimator samples;
     for (int i = 0; i < 20000; ++i) samples.add(sample_path(util));
-    table.add_row({static_cast<long long>(pct), to_ms(samples.mean()),
-                   to_ms(samples.quantile(0.95)),
-                   to_ms(samples.quantile(0.99))});
+    const LatencyStats stats = summarize(samples);
+    table.add_row({static_cast<long long>(pct), to_ms(stats.mean),
+                   to_ms(stats.p50), to_ms(stats.p95), to_ms(stats.p99)});
   }
   table.print(std::cout, fmt);
 

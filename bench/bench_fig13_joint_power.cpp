@@ -8,6 +8,8 @@
 // a switch *on* (aggregation 2) lowers TOTAL power because servers gain
 // slack; (c) at 50%, aggregation 3 is out and aggregation 2 needs > 31 ms.
 #include "bench_common.h"
+#include "core/attribution.h"
+#include "obs/telemetry.h"
 #include "sim/search_cluster.h"
 #include "topo/aggregation.h"
 
@@ -66,14 +68,30 @@ int main(int argc, char** argv) {
     // slack estimation, and K-candidate spans for --trace-out.
     {
       std::vector<Cell> row{std::string("joint optimizer")};
+      // With --epoch-log, every (background, constraint) cell becomes one
+      // "epoch" in the JSONL stream: an attribution ledger line (per-layer
+      // power components summing bit-identically to the plan's totals) and
+      // a plan_explain line (the candidate-K table with reject reasons).
+      static int cell_epoch = 0;
+      obs::JsonlWriter* sink = obs::epoch_log();
       for (double c : constraints) {
         JointOptimizerConfig joint;
         joint.latency_constraint = ms(c);
         joint.server_budget = ms(c - 5.0);
+        obs::PlanExplainRecord explain;
         PlanRequest request;
         request.background = &background;
         request.utilization = 0.3;
+        request.explain = &explain;
         const JointPlan plan = scn.optimizer(joint).optimize(request);
+        if (sink) {
+          sink->write(make_plan_attribution(joint, plan, "bench_fig13",
+                                            cell_epoch));
+          explain.source = "bench_fig13";
+          explain.epoch = cell_epoch;
+          sink->write(explain);
+          ++cell_epoch;
+        }
         if (!plan.feasible) {
           row.push_back(std::string("-"));  // no K meets this constraint
         } else {

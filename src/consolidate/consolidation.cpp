@@ -17,17 +17,35 @@ void finalize_result(const Graph& graph, const ConsolidationConfig& config,
                      ConsolidationResult& result) {
   result.active_switches = 0;
   result.active_links = 0;
+  result.edge_switches = 0;
+  result.agg_switches = 0;
+  result.core_switches = 0;
   for (const Node& n : graph.nodes()) {
-    if (is_switch_type(n.type) &&
-        result.switch_on[static_cast<std::size_t>(n.id)]) {
-      ++result.active_switches;
+    if (!is_switch_type(n.type) ||
+        !result.switch_on[static_cast<std::size_t>(n.id)]) {
+      continue;
+    }
+    ++result.active_switches;
+    switch (n.type) {
+      case NodeType::EdgeSwitch: ++result.edge_switches; break;
+      case NodeType::AggSwitch: ++result.agg_switches; break;
+      case NodeType::CoreSwitch: ++result.core_switches; break;
+      case NodeType::Host: break;
     }
   }
   for (const Link& l : graph.links()) {
     if (result.link_on[static_cast<std::size_t>(l.id)]) ++result.active_links;
   }
-  result.network_power = result.active_switches * config.switch_power +
-                         result.active_links * config.link_power;
+  // The headline network power is *defined* as the fixed-order sum of the
+  // per-layer components so the attribution ledger sums bit-identically to
+  // the total for any thread count (see obs/attribution.h).
+  result.edge_power_w = result.edge_switches * config.switch_power;
+  result.agg_power_w = result.agg_switches * config.switch_power;
+  result.core_power_w = result.core_switches * config.switch_power;
+  result.link_power_w = result.active_links * config.link_power;
+  result.network_power =
+      ((result.edge_power_w + result.agg_power_w) + result.core_power_w) +
+      result.link_power_w;
 }
 
 void activate_path(const Graph& graph, const Path& path,

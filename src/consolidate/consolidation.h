@@ -62,7 +62,21 @@ struct ConsolidationResult {
   std::vector<Path> flow_paths;
   int active_switches = 0;
   int active_links = 0;
-  /// Network part of the objective: switches + links, W.
+  /// Active switches per fat-tree layer; sums to active_switches.
+  int edge_switches = 0;
+  int agg_switches = 0;
+  int core_switches = 0;
+  /// Power attributed per topology layer (`count * switch_power`) plus the
+  /// link share (`active_links * link_power`). `network_power` is *defined*
+  /// as the fixed-order sum ((edge + agg) + core) + links, so the
+  /// attribution ledger's components always sum bit-identically to the
+  /// headline total — no post-hoc decomposition, the total flows through
+  /// the components.
+  Power edge_power_w = 0.0;
+  Power agg_power_w = 0.0;
+  Power core_power_w = 0.0;
+  Power link_power_w = 0.0;
+  /// Network part of the objective: ((edge + agg) + core) + links, W.
   Power network_power = 0.0;
   /// True when this result came out of the incremental (warm-started)
   /// path of consolidate_incremental — false for cold packs, including a

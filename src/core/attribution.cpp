@@ -1,0 +1,132 @@
+#include "core/attribution.h"
+
+namespace eprons {
+
+namespace {
+
+void fill_server_side(const JointOptimizerConfig& config,
+                      const JointPlan& plan, int hosts,
+                      obs::AttributionRecord& record) {
+  record.power.server_idle_w = plan.server_idle_w;
+  record.power.server_dynamic_w = plan.server_dynamic_w;
+  record.power.server_dvfs_residual_w = plan.server_dvfs_residual_w;
+  record.power.server_total_w = plan.server_power_w;
+  record.power.hosts = hosts;
+  record.power.total_w =
+      record.power.network_total_w + record.power.server_total_w;
+
+  record.latency.constraint_us = config.latency_constraint;
+  record.latency.network_p95_us = plan.slack.total_p95;
+  record.latency.network_p99_us = plan.slack.total_p99;
+  record.latency.request_p95_us = plan.slack.request_p95;
+  record.latency.server_budget_us = plan.effective_server_budget;
+  switch (plan.reject) {
+    case PlanReject::None:
+      record.latency.miss_charged_to = "";
+      break;
+    case PlanReject::BudgetExhausted:
+      record.latency.miss_charged_to = "network";
+      break;
+    case PlanReject::PlacementInfeasible:
+      record.latency.miss_charged_to = "placement";
+      break;
+    case PlanReject::DvfsInfeasible:
+      record.latency.miss_charged_to = "server";
+      break;
+  }
+}
+
+}  // namespace
+
+LayeredNetworkPower layered_network_power(const Graph& graph,
+                                          const std::vector<bool>& switch_on,
+                                          Power switch_power) {
+  LayeredNetworkPower out;
+  for (const Node& n : graph.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    if (!is_switch_type(n.type) || i >= switch_on.size() || !switch_on[i]) {
+      continue;
+    }
+    ++out.active_switches;
+    switch (n.type) {
+      case NodeType::EdgeSwitch: ++out.edge_switches; break;
+      case NodeType::AggSwitch: ++out.agg_switches; break;
+      case NodeType::CoreSwitch: ++out.core_switches; break;
+      case NodeType::Host: break;
+    }
+  }
+  out.edge_w = out.edge_switches * switch_power;
+  out.agg_w = out.agg_switches * switch_power;
+  out.core_w = out.core_switches * switch_power;
+  out.total_w = (out.edge_w + out.agg_w) + out.core_w;
+  return out;
+}
+
+obs::AttributionRecord make_plan_attribution(const JointOptimizerConfig& config,
+                                             const JointPlan& plan,
+                                             std::string source, int epoch) {
+  obs::AttributionRecord record;
+  record.source = std::move(source);
+  record.epoch = epoch;
+  record.chosen_k = plan.k;
+  record.feasible = plan.feasible;
+
+  const ConsolidationResult& p = plan.placement;
+  record.power.edge_w = p.edge_power_w;
+  record.power.agg_w = p.agg_power_w;
+  record.power.core_w = p.core_power_w;
+  record.power.link_w = p.link_power_w;
+  // finalize_result defined plan.network_power as exactly this sum.
+  record.power.network_total_w = plan.network_power;
+  record.power.edge_switches = p.edge_switches;
+  record.power.agg_switches = p.agg_switches;
+  record.power.core_switches = p.core_switches;
+  record.power.active_links = p.active_links;
+
+  const int hosts = static_cast<int>(plan.request_flow.size());
+  fill_server_side(config, plan, hosts, record);
+  return record;
+}
+
+obs::AttributionRecord make_epoch_attribution(
+    const Graph& graph, const JointOptimizerConfig& config,
+    const JointPlan& plan, const std::vector<bool>& actual,
+    const std::vector<bool>& wanted, std::string source, int epoch) {
+  obs::AttributionRecord record;
+  record.source = std::move(source);
+  record.epoch = epoch;
+  record.chosen_k = plan.k;
+  record.feasible = plan.feasible;
+
+  const Power switch_power = config.consolidation.switch_power;
+  const LayeredNetworkPower net =
+      layered_network_power(graph, actual, switch_power);
+  record.power.edge_w = net.edge_w;
+  record.power.agg_w = net.agg_w;
+  record.power.core_w = net.core_w;
+  record.power.link_w = 0.0;  // the realized mask tracks switches only
+  record.power.network_total_w = net.total_w;
+  record.power.edge_switches = net.edge_switches;
+  record.power.agg_switches = net.agg_switches;
+  record.power.core_switches = net.core_switches;
+  record.power.active_links = 0;
+
+  // Linger overhead: switches powered by the transition policy that the
+  // plan did not ask for (backup paths held on to dodge a boot window).
+  int linger = 0;
+  for (const Node& n : graph.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    if (!is_switch_type(n.type)) continue;
+    const bool on = i < actual.size() && actual[i];
+    const bool asked = i < wanted.size() && wanted[i];
+    if (on && !asked) ++linger;
+  }
+  record.power.linger_switches = linger;
+  record.power.linger_overhead_w = linger * switch_power;
+
+  const int hosts = static_cast<int>(plan.request_flow.size());
+  fill_server_side(config, plan, hosts, record);
+  return record;
+}
+
+}  // namespace eprons

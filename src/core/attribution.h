@@ -1,0 +1,63 @@
+// Builders bridging planner types (JointPlan, transition masks) to the
+// primitive-only attribution records in obs/attribution.h.
+//
+// Two producers exist:
+//   * make_plan_attribution — ledger for a *planned* subnet (benches that
+//     call the optimizer directly): network side from the placement's
+//     per-layer power fields, server side from the plan's cluster-level
+//     component roll-up. No linger overhead (nothing realized yet).
+//   * make_epoch_attribution — ledger for a *realized* epoch (the
+//     controller after the transition step): network side re-derived from
+//     the actually-powered switch mask via layered_network_power (lingering
+//     backups included, and charged as linger overhead when the plan did
+//     not want them), server side from the plan.
+//
+// Both inherit the bit-exactness contract documented in obs/attribution.h:
+// every total they write *is* the fixed-order sum of the components they
+// write next to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/joint_optimizer.h"
+#include "obs/attribution.h"
+#include "topo/topology.h"
+
+namespace eprons {
+
+/// Per-layer active-switch counts and the fixed-order network power sum
+/// over an actually-powered mask. Returns the headline network power
+/// *defined* as ((edge + agg) + core) * components — the epoch
+/// controller's realized_network_w is this value, so the ledger's layer
+/// components sum to it bit-identically.
+struct LayeredNetworkPower {
+  int edge_switches = 0;
+  int agg_switches = 0;
+  int core_switches = 0;
+  int active_switches = 0;
+  Power edge_w = 0.0;
+  Power agg_w = 0.0;
+  Power core_w = 0.0;
+  /// ((edge_w + agg_w) + core_w).
+  Power total_w = 0.0;
+};
+
+LayeredNetworkPower layered_network_power(const Graph& graph,
+                                          const std::vector<bool>& switch_on,
+                                          Power switch_power);
+
+/// Ledger for a plan fresh out of the optimizer (planned subnet).
+obs::AttributionRecord make_plan_attribution(const JointOptimizerConfig& config,
+                                             const JointPlan& plan,
+                                             std::string source, int epoch);
+
+/// Ledger for a realized epoch: `actual` is the powered mask after the
+/// transition step, `wanted` the plan's mask (linger overhead = switches in
+/// `actual` the plan did not ask for).
+obs::AttributionRecord make_epoch_attribution(
+    const Graph& graph, const JointOptimizerConfig& config,
+    const JointPlan& plan, const std::vector<bool>& actual,
+    const std::vector<bool>& wanted, std::string source, int epoch);
+
+}  // namespace eprons

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/attribution.h"
 #include "obs/telemetry.h"
 #include "topo/aggregation.h"
 #include "util/log.h"
@@ -129,9 +130,11 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
           ? &last_plan_
           : nullptr;
   JointPlan plan;
+  obs::PlanExplainRecord explain;
   PlanRequest request;
   request.background = &predicted;
   request.utilization = utilization;
+  request.explain = &explain;
   if (faults_active_) {
     request.constraints.allowed_switches = active_overlay_.surviving_switches();
     request.constraints.blocked_links = active_overlay_.down_link_mask();
@@ -168,8 +171,12 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
   const std::vector<bool>& actual = transitions_.step(
       wanted, faults_active_ ? &failed_switch_mask_ : nullptr);
   report.actual_switches = count_active_switches(topo_->graph(), actual);
-  report.network_power =
-      report.actual_switches * config_.joint.consolidation.switch_power;
+  // Realized network power is *defined* as the per-layer fixed-order sum so
+  // the attribution ledger's layer components sum to it bit-identically
+  // (byte-identical to the old flat count * P under integral calibrations).
+  const LayeredNetworkPower realized = layered_network_power(
+      topo_->graph(), actual, config_.joint.consolidation.switch_power);
+  report.network_power = realized.total_w;
 
   obs::EpochRecord record;
   record.source = "epoch_controller";
@@ -187,7 +194,17 @@ EpochReport EpochController::run_epoch(const FlowSet& true_background,
   record.utilization = utilization;
   obs::JsonlWriter* sink =
       config_.epoch_log ? config_.epoch_log : obs::epoch_log();
-  if (sink) sink->write(record);
+  if (sink) {
+    sink->write(record);
+    // The per-epoch ledger: where every watt and microsecond went, plus
+    // why the planner picked this K over every rejected candidate.
+    sink->write(make_epoch_attribution(topo_->graph(), config_.joint, plan,
+                                       actual, wanted, "epoch_controller",
+                                       report.epoch));
+    explain.source = "epoch_controller";
+    explain.epoch = report.epoch;
+    sink->write(explain);
+  }
 
   // Snapshot for the emergency re-plan path: on_failure re-plans against
   // the demands this epoch planned with (the 2 s poll has no fresher ones).
@@ -215,7 +232,9 @@ RecoveryReport EpochController::on_failure(const FailureOverlay& overlay) {
     report.actual_switches =
         count_active_switches(graph, transitions_.current_mask());
     report.network_power =
-        report.actual_switches * config_.joint.consolidation.switch_power;
+        layered_network_power(graph, transitions_.current_mask(),
+                              config_.joint.consolidation.switch_power)
+            .total_w;
     return report;
   }
 
@@ -277,7 +296,9 @@ RecoveryReport EpochController::on_failure(const FailureOverlay& overlay) {
     report.actual_switches =
         count_active_switches(graph, transitions_.current_mask());
     report.network_power =
-        report.actual_switches * config_.joint.consolidation.switch_power;
+        layered_network_power(graph, transitions_.current_mask(),
+                              config_.joint.consolidation.switch_power)
+            .total_w;
     fm.time_to_replan.observe(report.time_to_replan);
     obs::JsonlWriter* sink =
         config_.epoch_log ? config_.epoch_log : obs::epoch_log();
@@ -364,7 +385,9 @@ RecoveryReport EpochController::on_failure(const FailureOverlay& overlay) {
   report.actual_switches =
       count_active_switches(graph, transitions_.current_mask());
   report.network_power =
-      report.actual_switches * config_.joint.consolidation.switch_power;
+      layered_network_power(graph, transitions_.current_mask(),
+                            config_.joint.consolidation.switch_power)
+          .total_w;
 
   fm.rerouted.add(static_cast<std::uint64_t>(report.flows_rerouted));
   fm.emergency_boots.add(static_cast<std::uint64_t>(boots));

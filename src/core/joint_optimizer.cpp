@@ -46,6 +46,38 @@ struct PlannerMetrics {
 
 }  // namespace
 
+const char* plan_reject_name(PlanReject reason) {
+  switch (reason) {
+    case PlanReject::None: return "";
+    case PlanReject::BudgetExhausted: return "budget_exhausted";
+    case PlanReject::PlacementInfeasible: return "placement_infeasible";
+    case PlanReject::DvfsInfeasible: return "dvfs_infeasible";
+  }
+  return "";
+}
+
+namespace {
+
+/// One candidate-K table row for the PlanExplain record.
+obs::PlanCandidateExplain explain_candidate(const JointPlan& plan,
+                                            bool from_cache) {
+  obs::PlanCandidateExplain row;
+  row.k = plan.k;
+  row.feasible = plan.feasible;
+  row.from_cache = from_cache;
+  row.reject_reason = plan_reject_name(plan.reject);
+  row.total_w = plan.total_power;
+  row.network_w = plan.network_power;
+  row.server_w = plan.server_power_w;
+  row.violation_probability = plan.server.achieved_vp;
+  row.slack_p95_us = plan.slack.total_p95;
+  row.server_budget_us = plan.effective_server_budget;
+  row.active_switches = plan.placement.active_switches;
+  return row;
+}
+
+}  // namespace
+
 // Background + query flows, identical for every K candidate of one
 // optimize() call — assembled once and copied into each candidate's plan.
 struct JointOptimizer::Assembly {
@@ -164,8 +196,13 @@ void JointOptimizer::finalize_plan(JointPlan& plan, double utilization,
       config_.latency_constraint - plan.slack.total_p95;
   if (plan.effective_server_budget <= 0.0) {
     plan.feasible = false;
-    plan.total_power = plan.network_power +
-                       hosts * power_model_->peak_power();
+    plan.reject = PlanReject::BudgetExhausted;
+    // Charge the fleet at peak (no budget means no DVFS headroom), but
+    // still as a component decomposition so the attribution ledger holds
+    // on infeasible epochs too.
+    plan.server = peak_power_prediction(*power_model_,
+                                        service_model_->config().f_max);
+    finalize_power_totals(plan);
     pm.infeasible_budget.add();
     EPRONS_LOG(Debug) << "K=" << plan.k << " rejected: network p95 "
                       << plan.slack.total_p95 << " us consumes the whole "
@@ -182,22 +219,54 @@ void JointOptimizer::finalize_plan(JointPlan& plan, double utilization,
     plan.server = predictor.predict(utilization, plan.effective_server_budget);
   }
   plan.feasible = placement_ok && !plan.server.budget_infeasible;
-  plan.total_power =
-      plan.network_power + hosts * plan.server.server_power;
+  finalize_power_totals(plan);
   pm.plan_total_w.observe(plan.total_power);
   if (plan.feasible) {
+    plan.reject = PlanReject::None;
     pm.feasible.add();
   } else if (!placement_ok) {
+    plan.reject = PlanReject::PlacementInfeasible;
     pm.infeasible_placement.add();
     EPRONS_LOG(Debug) << "K=" << plan.k
                       << " rejected: consolidation violated the safety "
                          "margin or disconnected a pair";
   } else {
+    plan.reject = PlanReject::DvfsInfeasible;
     pm.infeasible_budget.add();
     EPRONS_LOG(Debug) << "K=" << plan.k << " rejected: server budget "
                       << plan.effective_server_budget
                       << " us unreachable even at f_max";
   }
+}
+
+void JointOptimizer::finalize_power_totals(JointPlan& plan) const {
+  const int hosts = topo_->num_hosts();
+  plan.server_idle_w = hosts * plan.server.idle_w;
+  plan.server_dynamic_w = hosts * plan.server.dynamic_w;
+  plan.server_dvfs_residual_w = hosts * plan.server.dvfs_residual_w;
+  plan.server_power_w = (plan.server_idle_w + plan.server_dynamic_w) +
+                        plan.server_dvfs_residual_w;
+  plan.total_power = plan.network_power + plan.server_power_w;
+}
+
+void JointOptimizer::explain_header(obs::PlanExplainRecord& explain,
+                                    const char* path,
+                                    const JointPlan& chosen) const {
+  explain.path = path;
+  explain.chosen_k = chosen.k;
+  explain.feasible = chosen.feasible;
+  explain.chosen_total_w = chosen.total_power;
+  explain.consolidation_on_w = chosen.network_power;
+  // The "consolidation off" baseline: every switch and link powered.
+  int switches = 0;
+  for (const Node& n : topo_->graph().nodes()) {
+    if (is_switch_type(n.type)) ++switches;
+  }
+  explain.consolidation_off_w =
+      switches * config_.consolidation.switch_power +
+      static_cast<double>(topo_->graph().num_links()) *
+          config_.consolidation.link_power;
+  explain.candidates.clear();
 }
 
 JointPlan JointOptimizer::plan_impl(const Assembly& assembly,
@@ -271,6 +340,11 @@ JointPlan JointOptimizer::optimize(const PlanRequest& request) const {
       pm.cache_returns.add();
       pm.chosen_k.set(cached.k);
       pm.chosen_total_w.set(cached.total_power);
+      if (request.explain != nullptr) {
+        explain_header(*request.explain, "cache_hit", cached);
+        request.explain->candidates.push_back(
+            explain_candidate(cached, /*from_cache=*/true));
+      }
       EPRONS_LOG(Info) << "k-search (warm): cache hit for K=" << cached.k
                        << " (" << cached.total_power << " W predicted total)";
       return cached;
@@ -296,6 +370,11 @@ JointPlan JointOptimizer::optimize(const PlanRequest& request) const {
       plan_cache_.insert(key, plan);
       pm.chosen_k.set(plan.k);
       pm.chosen_total_w.set(plan.total_power);
+      if (request.explain != nullptr) {
+        explain_header(*request.explain, "warm", plan);
+        request.explain->candidates.push_back(
+            explain_candidate(plan, /*from_cache=*/false));
+      }
       EPRONS_LOG(Info) << "k-search (warm): kept K=" << plan.k << " ("
                        << plan.placement.active_switches << " switches, "
                        << plan.total_power << " W predicted total, "
@@ -441,6 +520,16 @@ JointPlan JointOptimizer::cold_search(const Assembly& assembly,
     }
   }
 
+  // The candidate-K table must be captured before the reduction below
+  // moves plans out of the vector.
+  std::vector<obs::PlanCandidateExplain> explain_rows;
+  if (request.explain != nullptr) {
+    explain_rows.reserve(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      explain_rows.push_back(explain_candidate(plans[i], from_cache[i]));
+    }
+  }
+
   // Deterministic serial reduction in candidate order.
   JointPlan best;
   bool have_best = false;
@@ -463,6 +552,10 @@ JointPlan JointOptimizer::cold_search(const Assembly& assembly,
   if (have_best) {
     pm.chosen_k.set(best.k);
     pm.chosen_total_w.set(best.total_power);
+    if (request.explain != nullptr) {
+      explain_header(*request.explain, "cold", best);
+      request.explain->candidates = std::move(explain_rows);
+    }
     EPRONS_LOG(Info) << "k-search: chose K=" << best.k << " ("
                      << best.placement.active_switches << " switches, "
                      << best.total_power << " W predicted total, server "
@@ -476,6 +569,10 @@ JointPlan JointOptimizer::cold_search(const Assembly& assembly,
   pm.searches_infeasible.add();
   pm.chosen_k.set(fallback.k);
   pm.chosen_total_w.set(fallback.total_power);
+  if (request.explain != nullptr) {
+    explain_header(*request.explain, "cold", fallback);
+    request.explain->candidates = std::move(explain_rows);
+  }
   EPRONS_LOG(Info) << "k-search: no feasible K in [" << config_.k_min << ", "
                    << config_.k_max << "]; falling back to K=" << fallback.k
                    << " (network p95 " << fallback.slack.total_p95

@@ -27,6 +27,7 @@
 
 #include <memory>
 
+#include "obs/attribution.h"
 #include "consolidate/greedy_consolidator.h"
 #include "sim/search_cluster.h"
 #include "core/plan_cache.h"
@@ -95,8 +96,26 @@ struct PlanConstraints {
   double k_min = 0.0;
 };
 
+/// Why finalize_plan classified a candidate infeasible (None = feasible).
+enum class PlanReject {
+  None = 0,
+  /// Network slack consumed the whole latency constraint (no server
+  /// budget left) — chargeable to the network layer.
+  BudgetExhausted,
+  /// Consolidation violated the safety margin or disconnected a pair —
+  /// chargeable to placement.
+  PlacementInfeasible,
+  /// The server budget is unreachable even at f_max — chargeable to the
+  /// server layer.
+  DvfsInfeasible,
+};
+
+/// Stable JSONL token for a reject reason ("" for None).
+const char* plan_reject_name(PlanReject reason);
+
 struct JointPlan {
   bool feasible = false;
+  PlanReject reject = PlanReject::None;
   double k = 1.0;
   ConsolidationResult placement;
   /// Query flow ids (host-indexed) within the planned flow set.
@@ -109,6 +128,15 @@ struct JointPlan {
   /// Server time budget handed to the DVFS layer, us.
   SimTime effective_server_budget = 0.0;
   Power network_power = 0.0;
+  /// Cluster-level server power components (hosts x the per-server
+  /// prediction's components). `server_power_w` is *defined* as the
+  /// fixed-order sum (idle + dynamic) + residual, and `total_power` as
+  /// network_power + server_power_w, so the attribution ledger
+  /// (obs/attribution.h) sums bit-identically to the headline totals.
+  Power server_idle_w = 0.0;
+  Power server_dynamic_w = 0.0;
+  Power server_dvfs_residual_w = 0.0;
+  Power server_power_w = 0.0;
   Power total_power = 0.0;
 };
 
@@ -140,6 +168,12 @@ struct PlanRequest {
   /// Per-call Topology::all_paths() enumeration instead of the memoized
   /// PathCatalog.
   bool use_reference_enumeration = false;
+  /// When non-null, optimize() fills a structured explanation of the call:
+  /// which path ran (cold sweep / warm re-evaluation / cache hit), the full
+  /// candidate-K table with per-candidate power, violation probability and
+  /// reject reason, and the consolidation on/off power delta. Purely an
+  /// out-parameter — never changes the returned plan. Not owned.
+  obs::PlanExplainRecord* explain = nullptr;
 };
 
 class JointOptimizer {
@@ -214,6 +248,17 @@ class JointOptimizer {
   /// per-candidate telemetry; requires plan.slack to be filled in.
   void finalize_plan(JointPlan& plan, double utilization,
                      bool reference_dvfs) const;
+
+  /// Cluster-level power roll-up from plan.server and plan.network_power:
+  /// hosts x the per-server components, then the fixed-order sums that
+  /// *define* server_power_w and total_power (attribution bit-exactness).
+  void finalize_power_totals(JointPlan& plan) const;
+
+  /// Fills the PlanExplain header fields shared by every optimize() path
+  /// (chosen plan, consolidation on/off delta); candidates are appended by
+  /// the caller.
+  void explain_header(obs::PlanExplainRecord& explain, const char* path,
+                      const JointPlan& chosen) const;
 
   /// Full per-candidate pipeline (consolidate + slack + finalize) for one
   /// K. `slack_pool` parallelizes the slack estimator's shards;

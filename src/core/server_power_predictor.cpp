@@ -5,6 +5,23 @@
 
 namespace eprons {
 
+ServerPowerPrediction peak_power_prediction(const ServerPowerModel& model,
+                                            Freq f_max) {
+  ServerPowerPrediction out;
+  out.frequency = f_max;
+  out.busy_fraction = 1.0;
+  out.achieved_vp = 1.0;
+  out.budget_infeasible = true;
+  const int cores = model.num_cores();
+  const Power core_idle = model.core_power(false, 0.0);
+  const Power a_fmax = model.core_power(true, f_max);
+  out.idle_w = model.config().static_power + cores * core_idle;
+  out.dynamic_w = cores * (a_fmax - core_idle);
+  out.dvfs_residual_w = 0.0;
+  out.server_power = (out.idle_w + out.dynamic_w) + out.dvfs_residual_w;
+  return out;
+}
+
 ServerPowerPredictor::ServerPowerPredictor(const ServiceModel* service_model,
                                            const ServerPowerModel* power_model,
                                            ServerPowerPredictorConfig config,
@@ -35,12 +52,17 @@ ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
   const auto& grid = service_model_->frequency_grid();
   Freq chosen = grid.back();
   bool found = false;
+  double achieved_vp = 1.0;
+  // Both branches record the violation probability actually achieved at
+  // the chosen frequency; the VpTable's bit-exactness contract (see
+  // dvfs/vp_table.h) makes the value identical either way.
   if (vp_table_ != nullptr && depth <= vp_table_->max_depth()) {
     for (std::size_t fi = 0; fi < grid.size(); ++fi) {
-      if (vp_table_->violation_probability(depth, budget, fi) <=
-          config_.target_vp) {
+      const double vp = vp_table_->violation_probability(depth, budget, fi);
+      if (vp <= config_.target_vp) {
         chosen = grid[fi];
         found = true;
+        achieved_vp = vp;
         break;
       }
     }
@@ -53,12 +75,14 @@ ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
       if (vp <= config_.target_vp) {
         chosen = f;
         found = true;
+        achieved_vp = vp;
         break;
       }
     }
   }
   out.budget_infeasible = !found;
   out.frequency = chosen;
+  out.achieved_vp = achieved_vp;
 
   // Slowdown inflates the busy fraction.
   const SimTime s_fast =
@@ -66,13 +90,19 @@ ServerPowerPrediction ServerPowerPredictor::predict(double utilization,
   const SimTime s_slow = service_model_->mean_service_time(chosen);
   out.busy_fraction = std::min(0.999, utilization * s_slow / s_fast);
 
+  // Component decomposition (obs/attribution.h): the idle floor, the cost
+  // of the work at f_max, and the residual from running at the chosen
+  // frequency instead. The headline server_power is *defined* as their
+  // fixed-order sum so the ledger sums bit-identically to the total.
   const int cores = power_model_->num_cores();
   const Power core_active = power_model_->core_power(true, chosen);
   const Power core_idle = power_model_->core_power(false, 0.0);
-  out.server_power =
-      power_model_->config().static_power +
-      cores * (out.busy_fraction * core_active +
-               (1.0 - out.busy_fraction) * core_idle);
+  const Power a_fmax =
+      power_model_->core_power(true, service_model_->config().f_max);
+  out.idle_w = power_model_->config().static_power + cores * core_idle;
+  out.dynamic_w = cores * out.busy_fraction * (a_fmax - core_idle);
+  out.dvfs_residual_w = cores * out.busy_fraction * (core_active - a_fmax);
+  out.server_power = (out.idle_w + out.dynamic_w) + out.dvfs_residual_w;
   return out;
 }
 

@@ -24,16 +24,38 @@
 namespace eprons {
 
 /// The predictor's answer for one (utilization, budget) query.
+///
+/// `server_power` is *defined* as the fixed-order sum
+/// (idle_w + dynamic_w) + dvfs_residual_w, so the attribution ledger's
+/// per-component breakdown (obs/attribution.h) sums bit-identically to the
+/// headline total — the total flows through the components, never the other
+/// way around.
 struct ServerPowerPrediction {
   /// Core frequency a statistical policy would settle on, GHz.
   Freq frequency = 0.0;
   /// Busy fraction per core after slowdown.
   double busy_fraction = 0.0;
-  /// Whole-server power (static + cores), W.
+  /// Violation probability achieved at the chosen frequency (1.0 when the
+  /// budget is unreachable even at f_max).
+  double achieved_vp = 1.0;
+  /// Power of the server fully idle: platform static + clock-gated cores.
+  Power idle_w = 0.0;
+  /// Cost of the offered work at f_max: busy cores above the idle floor.
+  Power dynamic_w = 0.0;
+  /// Delta from running at `frequency` instead of f_max (negative when the
+  /// DVFS slowdown saves power — the watts network slack bought).
+  Power dvfs_residual_w = 0.0;
+  /// Whole-server power: (idle_w + dynamic_w) + dvfs_residual_w, W.
   Power server_power = 0.0;
   /// True if even f_max cannot meet the budget at the target VP.
   bool budget_infeasible = false;
 };
+
+/// The decomposition of one server pinned at f_max with every core busy —
+/// the "no power management" peak baseline, split into the same components
+/// as predict() so infeasible-budget plans still carry a ledger.
+ServerPowerPrediction peak_power_prediction(const ServerPowerModel& model,
+                                            Freq f_max);
 
 struct ServerPowerPredictorConfig {
   /// Acceptable per-request violation probability (the paper's 5%).

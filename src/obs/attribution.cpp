@@ -1,0 +1,108 @@
+#include "obs/attribution.h"
+
+#include "util/strings.h"
+
+namespace eprons::obs {
+
+namespace {
+
+void append_field(std::string& out, const char* name, double value) {
+  out += ", \"";
+  out += name;
+  out += "\": ";
+  out += json_number(value);
+}
+
+void append_field(std::string& out, const char* name, int value) {
+  out += ", \"";
+  out += name;
+  out += "\": ";
+  out += std::to_string(value);
+}
+
+void append_field(std::string& out, const char* name, bool value) {
+  out += ", \"";
+  out += name;
+  out += "\": ";
+  out += value ? "true" : "false";
+}
+
+void append_field(std::string& out, const char* name,
+                  const std::string& value) {
+  out += ", \"";
+  out += name;
+  out += "\": \"";
+  out += json_escape(value);
+  out += "\"";
+}
+
+}  // namespace
+
+std::string to_jsonl(const AttributionRecord& r) {
+  std::string out = "{\"source\": \"attribution\"";
+  append_field(out, "producer", r.source);
+  append_field(out, "epoch", r.epoch);
+  append_field(out, "chosen_k", r.chosen_k);
+  append_field(out, "feasible", r.feasible);
+  // Power ledger. The *_total_w fields are the producers' headline totals;
+  // the components sum to them bit-identically by construction.
+  append_field(out, "edge_w", r.power.edge_w);
+  append_field(out, "agg_w", r.power.agg_w);
+  append_field(out, "core_w", r.power.core_w);
+  append_field(out, "link_w", r.power.link_w);
+  append_field(out, "network_total_w", r.power.network_total_w);
+  append_field(out, "linger_overhead_w", r.power.linger_overhead_w);
+  append_field(out, "edge_switches", r.power.edge_switches);
+  append_field(out, "agg_switches", r.power.agg_switches);
+  append_field(out, "core_switches", r.power.core_switches);
+  append_field(out, "active_links", r.power.active_links);
+  append_field(out, "linger_switches", r.power.linger_switches);
+  append_field(out, "server_idle_w", r.power.server_idle_w);
+  append_field(out, "server_dynamic_w", r.power.server_dynamic_w);
+  append_field(out, "server_dvfs_residual_w", r.power.server_dvfs_residual_w);
+  append_field(out, "server_total_w", r.power.server_total_w);
+  append_field(out, "hosts", r.power.hosts);
+  append_field(out, "total_w", r.power.total_w);
+  // Latency ledger.
+  append_field(out, "constraint_us", r.latency.constraint_us);
+  append_field(out, "network_p95_us", r.latency.network_p95_us);
+  append_field(out, "network_p99_us", r.latency.network_p99_us);
+  append_field(out, "request_p95_us", r.latency.request_p95_us);
+  append_field(out, "server_budget_us", r.latency.server_budget_us);
+  append_field(out, "miss_charged_to", r.latency.miss_charged_to);
+  out += "}\n";
+  return out;
+}
+
+std::string to_jsonl(const PlanExplainRecord& r) {
+  std::string out = "{\"source\": \"plan_explain\"";
+  append_field(out, "producer", r.source);
+  append_field(out, "epoch", r.epoch);
+  append_field(out, "path", r.path);
+  append_field(out, "chosen_k", r.chosen_k);
+  append_field(out, "feasible", r.feasible);
+  append_field(out, "chosen_total_w", r.chosen_total_w);
+  append_field(out, "consolidation_on_w", r.consolidation_on_w);
+  append_field(out, "consolidation_off_w", r.consolidation_off_w);
+  out += ", \"candidates\": [";
+  for (std::size_t i = 0; i < r.candidates.size(); ++i) {
+    const PlanCandidateExplain& c = r.candidates[i];
+    out += i == 0 ? "{" : ", {";
+    out += "\"k\": " + json_number(c.k);
+    append_field(out, "feasible", c.feasible);
+    append_field(out, "from_cache", c.from_cache);
+    append_field(out, "reject_reason", c.reject_reason);
+    append_field(out, "total_w", c.total_w);
+    append_field(out, "network_w", c.network_w);
+    append_field(out, "server_w", c.server_w);
+    append_field(out, "violation_probability", c.violation_probability);
+    append_field(out, "slack_p95_us", c.slack_p95_us);
+    append_field(out, "server_budget_us", c.server_budget_us);
+    append_field(out, "active_switches", c.active_switches);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace eprons::obs

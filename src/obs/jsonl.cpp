@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/attribution.h"
 #include "util/strings.h"
 
 namespace eprons::obs {
@@ -54,6 +55,16 @@ void JsonlWriter::write(const EpochRecord& record) {
 void JsonlWriter::write(const FaultRecord& record) {
   write_line(to_jsonl(record));
 }
+
+void JsonlWriter::write(const AttributionRecord& record) {
+  write_line(to_jsonl(record));
+}
+
+void JsonlWriter::write(const PlanExplainRecord& record) {
+  write_line(to_jsonl(record));
+}
+
+void JsonlWriter::write_raw(const std::string& line) { write_line(line); }
 
 void JsonlWriter::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mutex_);

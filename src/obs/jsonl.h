@@ -15,6 +15,9 @@
 
 namespace eprons::obs {
 
+struct AttributionRecord;   // obs/attribution.h
+struct PlanExplainRecord;   // obs/attribution.h
+
 struct EpochRecord {
   /// Producer tag: "epoch_controller" | "trace_replay".
   const char* source = "epoch_controller";
@@ -79,6 +82,11 @@ class JsonlWriter {
 
   void write(const EpochRecord& record);
   void write(const FaultRecord& record);
+  void write(const AttributionRecord& record);
+  void write(const PlanExplainRecord& record);
+  /// Writes one pre-serialized JSONL line (must be '\n'-terminated) under
+  /// the same line-level lock — for record types serialized elsewhere.
+  void write_raw(const std::string& line);
   std::size_t records_written() const;
 
  private:

@@ -107,6 +107,34 @@ double HistogramSnapshot::quantile(double q) const {
   return max;
 }
 
+Percentiles HistogramSnapshot::percentiles() const {
+  Percentiles out;
+  if (count == 0) return out;
+  // Nearest-rank (1-based, rank = ceil(q*n)) for the three standard
+  // quantiles, resolved in one cumulative pass over the buckets.
+  const double n = static_cast<double>(count);
+  const std::uint64_t ranks[3] = {
+      std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(0.50 * n))),
+      std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(0.95 * n))),
+      std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(0.99 * n))),
+  };
+  double* slots[3] = {&out.p50, &out.p95, &out.p99};
+  std::size_t next = 0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size() && next < 3; ++b) {
+    seen += buckets[b];
+    while (next < 3 && seen >= ranks[next]) {
+      *slots[next] = std::min(std::max(Histogram::bucket_upper(b), min), max);
+      ++next;
+    }
+  }
+  for (; next < 3; ++next) *slots[next] = max;
+  return out;
+}
+
 void MetricsSnapshot::write_json(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -128,11 +156,12 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {"
        << "\"count\": " << hist.count;
     if (hist.count > 0) {
+      const Percentiles pct = hist.percentiles();
       os << ", \"min\": " << json_number(hist.min)
          << ", \"max\": " << json_number(hist.max)
-         << ", \"p50\": " << json_number(hist.quantile(0.50))
-         << ", \"p95\": " << json_number(hist.quantile(0.95))
-         << ", \"p99\": " << json_number(hist.quantile(0.99))
+         << ", \"p50\": " << json_number(pct.p50)
+         << ", \"p95\": " << json_number(pct.p95)
+         << ", \"p99\": " << json_number(pct.p99)
          << ", \"buckets\": [";
       bool first_bucket = true;
       for (std::size_t b = 0; b < hist.buckets.size(); ++b) {

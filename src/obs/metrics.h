@@ -103,6 +103,15 @@ class Histogram {
   std::array<Shard, kMetricShards> shards_;
 };
 
+/// The standard latency summary triple, extracted with exact nearest-rank
+/// semantics (rank = ceil(q * n), 1-based) so every consumer — JSON
+/// snapshots, bench tables, reports — quotes the same numbers.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double min = std::numeric_limits<double>::infinity();
@@ -112,6 +121,10 @@ struct HistogramSnapshot {
   /// Upper bound of the bucket holding the q-quantile (0 when empty).
   /// Computed from bucket counts only, so it is exactly reproducible.
   double quantile(double q) const;
+
+  /// Nearest-rank p50/p95/p99 in one bucket pass; identical to calling
+  /// quantile(0.50/0.95/0.99) but does not rescan per quantile.
+  Percentiles percentiles() const;
 };
 
 /// Deterministic, name-sorted view of a registry (std::map orders keys).

@@ -7,6 +7,7 @@ LatencyStats summarize(const PercentileEstimator& estimator) {
   stats.count = estimator.count();
   if (stats.count == 0) return stats;
   stats.mean = estimator.mean();
+  stats.p50 = estimator.quantile(0.50);
   stats.p95 = estimator.quantile(0.95);
   stats.p99 = estimator.quantile(0.99);
   stats.max = estimator.max();

@@ -9,6 +9,7 @@ namespace eprons {
 
 struct LatencyStats {
   double mean = 0.0;
+  double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
   double max = 0.0;

@@ -87,10 +87,13 @@ std::string json_escape(std::string_view text) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
           out += buf;
         } else {
           out += ch;
@@ -101,9 +104,17 @@ std::string json_escape(std::string_view text) {
 }
 
 std::string json_number(double value) {
-  if (value != value) return "\"nan\"";
-  if (value == std::numeric_limits<double>::infinity()) return "\"inf\"";
-  if (value == -std::numeric_limits<double>::infinity()) return "\"-inf\"";
+  // JSON has no tokens for NaN or the infinities; `null` is the only value
+  // every parser accepts. The old quoted-string forms type-confused numeric
+  // columns downstream.
+  if (value != value) return "null";
+  if (value == std::numeric_limits<double>::infinity() ||
+      value == -std::numeric_limits<double>::infinity()) {
+    return "null";
+  }
+  // %.17g round-trips every finite double exactly, including negative zero
+  // and subnormals (longest form, e.g. -4.9406564584124654e-324, is 24
+  // chars).
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;

@@ -30,8 +30,9 @@ bool parse_int(std::string_view text, long long& out);
 std::string json_escape(std::string_view text);
 
 /// Renders a double as a JSON value token: full %.17g precision for finite
-/// values (round-trips exactly), quoted "inf"/"-inf"/"nan" otherwise (JSON
-/// has no literals for them).
+/// values (round-trips exactly, including negative zero and subnormals),
+/// `null` for NaN/±Inf (JSON has no literals for them, and quoted strings
+/// type-confuse numeric columns).
 std::string json_number(double value);
 
 }  // namespace eprons

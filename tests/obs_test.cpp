@@ -111,6 +111,38 @@ TEST(Histogram, QuantileIsMonotone) {
   EXPECT_GE(snap.quantile(0.0), 0.0);
 }
 
+TEST(Histogram, PercentilesMatchPerQuantileScans) {
+  // percentiles() resolves all three nearest ranks in one cumulative
+  // bucket pass; it must agree exactly with three separate quantile()
+  // calls, which share the nearest-rank definition.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const HistogramSnapshot snap = h.snapshot();
+  const Percentiles p = snap.percentiles();
+  EXPECT_EQ(p.p50, snap.quantile(0.50));
+  EXPECT_EQ(p.p95, snap.quantile(0.95));
+  EXPECT_EQ(p.p99, snap.quantile(0.99));
+  EXPECT_LE(p.p50, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+  EXPECT_LE(p.p99, snap.max);
+}
+
+TEST(Histogram, PercentilesOfSingleValueAreThatValue) {
+  Histogram h;
+  h.observe(42.0);
+  const Percentiles p = h.snapshot().percentiles();
+  EXPECT_EQ(p.p50, 42.0);
+  EXPECT_EQ(p.p95, 42.0);
+  EXPECT_EQ(p.p99, 42.0);
+}
+
+TEST(Histogram, PercentilesOfEmptyHistogramAreZero) {
+  const Percentiles p = Histogram().snapshot().percentiles();
+  EXPECT_EQ(p.p50, 0.0);
+  EXPECT_EQ(p.p95, 0.0);
+  EXPECT_EQ(p.p99, 0.0);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.observe(7.0);

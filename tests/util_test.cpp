@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include <atomic>
@@ -324,16 +325,57 @@ TEST(Strings, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("a\bb\fc"), "a\\bb\\fc");
   EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
-TEST(Strings, JsonNumberFormatsSpecials) {
+TEST(Strings, JsonEscapeCoversEveryControlCharacter) {
+  // Every byte below 0x20 must leave the output as a valid JSON escape —
+  // either a two-char shorthand or a \u00xx sequence — never raw.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped =
+        json_escape(std::string_view(reinterpret_cast<const char*>(&c), 1));
+    ASSERT_GE(escaped.size(), 2u) << "byte " << c;
+    EXPECT_EQ(escaped[0], '\\') << "byte " << c;
+    for (char ch : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u) << "byte " << c;
+    }
+  }
+}
+
+TEST(Strings, JsonNumberEmitsNullForNonFinite) {
+  // JSON has no NaN/Inf tokens; `null` is the only universally parseable
+  // stand-in. The old quoted "nan"/"inf" strings broke numeric consumers.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(-std::nan("")), "null");
+}
+
+TEST(Strings, JsonNumberRoundTripsFiniteValues) {
   EXPECT_EQ(json_number(1.5), "1.5");
   EXPECT_EQ(json_number(0.0), "0");
-  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "\"inf\"");
-  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()),
-            "\"-inf\"");
-  EXPECT_EQ(json_number(std::nan("")), "\"nan\"");
+  // %.17g must reproduce the exact bit pattern through strtod for every
+  // finite double, including negatives, subnormals, and extremes.
+  const double cases[] = {
+      -1.5,
+      -0.0,
+      1.0 / 3.0,
+      -12345.678901234567,
+      std::numeric_limits<double>::min(),          // smallest normal
+      std::numeric_limits<double>::denorm_min(),   // smallest subnormal
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      4.9406564584124654e-318,                     // mid-range subnormal
+  };
+  for (double value : cases) {
+    const std::string text = json_number(value);
+    double parsed = 0.0;
+    ASSERT_TRUE(parse_double(text, parsed)) << text;
+    EXPECT_EQ(std::memcmp(&parsed, &value, sizeof(double)), 0)
+        << text << " parsed back as different bits";
+  }
 }
 
 TEST(Log, ParseLogLevelAcceptsAllSpellings) {

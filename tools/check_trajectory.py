@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""CI regression gate against a committed bench trajectory.
+
+Two machine-independent contracts are enforced (wall-clock alone is
+hardware noise on shared runners, so it is recorded but never gated):
+
+1. **Ledger fingerprint** — every `--jsonl` file passed (the
+   `--epoch-log` streams from runs at different `--threads` values) must
+   be byte-identical. The attribution ledger is part of the planner's
+   determinism surface; a divergent byte means a thread-count-dependent
+   code path leaked into the epoch record.
+
+2. **Within-run speedup** — `--perf` points at the stdout of
+   bench_micro_parallel_planner, which measures the fast and reference
+   pipelines in the *same* process on the *same* machine. Their ratio is
+   machine-independent to first order, so it gates: the measured
+   `speedup_vs_reference` must stay within `--max-regression` (default
+   15%) of the newest committed trajectory point, and the bench's own
+   `identical=yes` fingerprint verdict must be present.
+
+    python3 tools/check_trajectory.py \
+        --trajectory bench/trajectories/BENCH_7.json \
+        --perf perf.txt --jsonl e1.jsonl e4.jsonl e8.jsonl
+
+Exits 0 when every supplied gate passes, 1 otherwise. Stdlib only.
+"""
+import argparse
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def sha256_of(path):
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def gate_jsonl(paths):
+    digests = {p: sha256_of(p) for p in paths}
+    for p, d in digests.items():
+        print(f"[trajectory] {p}: sha256={d[:16]}")
+    if len(set(digests.values())) != 1:
+        print("[trajectory] FAIL: epoch-log streams differ across runs "
+              "(thread-count-dependent ledger output)", file=sys.stderr)
+        return False
+    print(f"[trajectory] ledger fingerprint identical across "
+          f"{len(paths)} runs")
+    return True
+
+
+def committed_speedup(trajectory):
+    points = [p for p in trajectory.get("trajectory", [])
+              if "speedup_vs_reference" in p]
+    if not points:
+        raise SystemExit("[trajectory] committed trajectory has no "
+                         "speedup_vs_reference point to gate against")
+    return points[-1]["speedup_vs_reference"], points[-1].get("label", "?")
+
+
+def gate_perf(perf_path, trajectory, max_regression):
+    text = Path(perf_path).read_text()
+    ok = True
+    if not re.search(r"^fingerprint fast=([0-9a-f]{16}) reference=\1 "
+                     r"identical=yes$", text, re.M):
+        print("[trajectory] FAIL: no matching 'identical=yes' fingerprint "
+              "line in perf output", file=sys.stderr)
+        ok = False
+    m = re.search(r"serial cold sweep: reference ([0-9.]+) ms, "
+                  r"fast ([0-9.]+) ms \(([0-9.]+)x\)", text)
+    if not m:
+        print("[trajectory] FAIL: no 'serial cold sweep' line in perf "
+              "output", file=sys.stderr)
+        return False
+    measured = float(m.group(3))
+    committed, label = committed_speedup(trajectory)
+    floor = committed * (1.0 - max_regression)
+    print(f"[trajectory] fast-vs-reference speedup: measured "
+          f"{measured:.2f}x, committed {committed:.2f}x ({label}), "
+          f"floor {floor:.2f}x at {max_regression:.0%} tolerance")
+    if measured < floor:
+        print(f"[trajectory] FAIL: speedup {measured:.2f}x regressed more "
+              f"than {max_regression:.0%} below committed "
+              f"{committed:.2f}x", file=sys.stderr)
+        ok = False
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="gate CI on the committed bench trajectory")
+    parser.add_argument("--trajectory", required=True,
+                        help="committed bench/trajectories/BENCH_N.json")
+    parser.add_argument("--perf", default=None,
+                        help="bench_micro_parallel_planner stdout to gate "
+                             "the fast-vs-reference speedup")
+    parser.add_argument("--jsonl", nargs="+", default=[],
+                        help="epoch-log files that must be byte-identical")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="allowed fractional speedup regression "
+                             "(default 0.15)")
+    args = parser.parse_args()
+
+    with open(args.trajectory) as fh:
+        trajectory = json.load(fh)
+    if not args.perf and len(args.jsonl) < 2:
+        raise SystemExit("[trajectory] nothing to gate: pass --perf and/or "
+                         "two or more --jsonl files")
+
+    ok = True
+    if len(args.jsonl) >= 2:
+        ok = gate_jsonl(args.jsonl) and ok
+    elif args.jsonl:
+        raise SystemExit("[trajectory] --jsonl needs at least two files "
+                         "to compare")
+    if args.perf:
+        ok = gate_perf(args.perf, trajectory, args.max_regression) and ok
+
+    if ok:
+        print("[trajectory] all gates passed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

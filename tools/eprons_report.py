@@ -1,0 +1,449 @@
+#!/usr/bin/env python3
+"""Turn EPRONS run artifacts (epoch JSONL + optional metrics snapshots)
+into a markdown/JSON report, and verify the attribution ledger invariants.
+
+A *run* is either a JSONL file produced via `--epoch-log=FILE`, or a run
+directory produced by tools/sweep.py (containing `epoch.jsonl` and
+optionally `metrics.json` from `--metrics-out`). The JSONL stream mixes
+record types distinguished by their "source" field:
+
+  epoch_controller / trace_replay  scalar per-epoch totals (obs/jsonl.h)
+  attribution                      per-epoch energy & SLA ledger
+  plan_explain                     candidate-K table with reject reasons
+  fault_recovery                   emergency re-plan timeline
+
+The report covers: power breakdown per layer/component (with shares),
+latency budget split and p50/p95/p99 from metrics histograms, the
+planner's chosen-K/path/reject statistics, the fault-recovery timeline,
+and a cross-run diff table when several runs are given.
+
+`--check` verifies the ledger's bit-exactness contract (obs/attribution.h):
+the C++ producers *define* every headline total as a fixed-order sum of
+the components emitted next to it, the %.17g JSON encoding round-trips
+doubles exactly, and Python floats are the same IEEE doubles — so the
+re-computed sums here must equal the recorded totals *exactly* (`==`, no
+epsilon). Any mismatch is a real producer bug, and the script exits 1.
+
+Stdlib only — no pip installs.
+
+    python3 tools/eprons_report.py run.jsonl --out reports/
+    python3 tools/eprons_report.py runs/t1 runs/t4 runs/t8 --check
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_jsonl(path):
+    records = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{line_no}: invalid JSON: {err}")
+    return records
+
+
+def load_run(path):
+    """Returns {'name', 'path', 'records', 'by_source', 'metrics'}."""
+    path = Path(path)
+    if path.is_dir():
+        jsonl = path / "epoch.jsonl"
+        if not jsonl.is_file():
+            raise SystemExit(f"{path}: no epoch.jsonl in run directory")
+        metrics_path = path / "metrics.json"
+        name = path.name
+    else:
+        jsonl = path
+        metrics_path = path.with_name("metrics.json")
+        name = path.stem
+    records = load_jsonl(jsonl)
+    by_source = {}
+    for r in records:
+        by_source.setdefault(r.get("source", "?"), []).append(r)
+    metrics = None
+    if metrics_path.is_file():
+        with open(metrics_path) as fh:
+            metrics = json.load(fh)
+    return {"name": name, "path": str(jsonl), "records": records,
+            "by_source": by_source, "metrics": metrics}
+
+
+# ---------------------------------------------------------------------------
+# Invariant checks (exact float equality — see module docstring).
+
+def check_attribution(rec, where):
+    errors = []
+    need = ["edge_w", "agg_w", "core_w", "link_w", "network_total_w",
+            "server_idle_w", "server_dynamic_w", "server_dvfs_residual_w",
+            "server_total_w", "total_w"]
+    missing = [f for f in need if rec.get(f) is None]
+    if missing:
+        return [f"{where}: missing/null fields {missing}"]
+    net = ((rec["edge_w"] + rec["agg_w"]) + rec["core_w"]) + rec["link_w"]
+    if net != rec["network_total_w"]:
+        errors.append(f"{where}: network components sum to {net!r}, total "
+                      f"is {rec['network_total_w']!r}")
+    srv = (rec["server_idle_w"] + rec["server_dynamic_w"]) \
+        + rec["server_dvfs_residual_w"]
+    if srv != rec["server_total_w"]:
+        errors.append(f"{where}: server components sum to {srv!r}, total "
+                      f"is {rec['server_total_w']!r}")
+    total = rec["network_total_w"] + rec["server_total_w"]
+    if total != rec["total_w"]:
+        errors.append(f"{where}: network+server is {total!r}, total_w is "
+                      f"{rec['total_w']!r}")
+    switches = (rec.get("edge_switches", 0) + rec.get("agg_switches", 0)
+                + rec.get("core_switches", 0))
+    if rec.get("linger_switches", 0) > switches:
+        errors.append(f"{where}: linger_switches exceeds active switches")
+    return errors
+
+
+def check_plan_explain(rec, where):
+    errors = []
+    if rec.get("chosen_k") is None:
+        errors.append(f"{where}: plan_explain without chosen_k")
+    candidates = rec.get("candidates", [])
+    if not candidates:
+        errors.append(f"{where}: plan_explain with empty candidate table")
+    for c in candidates:
+        if not c.get("feasible") and not c.get("reject_reason"):
+            errors.append(f"{where}: rejected candidate K={c.get('k')} "
+                          f"carries no reject_reason")
+        if c.get("feasible") and c.get("reject_reason"):
+            errors.append(f"{where}: feasible candidate K={c.get('k')} "
+                          f"carries reject_reason "
+                          f"{c.get('reject_reason')!r}")
+    if rec.get("path") not in ("cold", "warm", "cache_hit"):
+        errors.append(f"{where}: unknown plan path {rec.get('path')!r}")
+    return errors
+
+
+def check_run(run):
+    errors = []
+    for i, rec in enumerate(run["by_source"].get("attribution", [])):
+        errors += check_attribution(rec, f"{run['path']} attribution[{i}]")
+    for i, rec in enumerate(run["by_source"].get("plan_explain", [])):
+        errors += check_plan_explain(rec, f"{run['path']} plan_explain[{i}]")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Aggregation helpers.
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def power_summary(run):
+    atts = run["by_source"].get("attribution", [])
+    if not atts:
+        return None
+    fields = ["edge_w", "agg_w", "core_w", "link_w", "network_total_w",
+              "linger_overhead_w", "server_idle_w", "server_dynamic_w",
+              "server_dvfs_residual_w", "server_total_w", "total_w"]
+    out = {f: mean(r.get(f) or 0.0 for r in atts) for f in fields}
+    out["epochs"] = len(atts)
+    out["feasible_epochs"] = sum(1 for r in atts if r.get("feasible"))
+    return out
+
+
+def latency_summary(run):
+    atts = run["by_source"].get("attribution", [])
+    out = {}
+    if atts:
+        out["constraint_us"] = mean(r.get("constraint_us") or 0 for r in atts)
+        out["network_p95_us"] = mean(
+            r.get("network_p95_us") or 0 for r in atts)
+        out["network_p99_us"] = mean(
+            r.get("network_p99_us") or 0 for r in atts)
+        out["server_budget_us"] = mean(
+            r.get("server_budget_us") or 0 for r in atts)
+        charged = {}
+        for r in atts:
+            layer = r.get("miss_charged_to") or ""
+            if layer:
+                charged[layer] = charged.get(layer, 0) + 1
+        out["miss_charged_to"] = charged
+    hists = {}
+    if run["metrics"]:
+        for name, h in (run["metrics"].get("histograms") or {}).items():
+            if h.get("count"):
+                hists[name] = {k: h.get(k) for k in
+                               ("count", "min", "p50", "p95", "p99", "max")}
+    out["histograms"] = hists
+    return out
+
+
+def plan_summary(run):
+    explains = run["by_source"].get("plan_explain", [])
+    if not explains:
+        return None
+    chosen_k = {}
+    paths = {}
+    rejects = {}
+    candidates = 0
+    for r in explains:
+        chosen_k[str(r.get("chosen_k"))] = \
+            chosen_k.get(str(r.get("chosen_k")), 0) + 1
+        paths[r.get("path", "?")] = paths.get(r.get("path", "?"), 0) + 1
+        for c in r.get("candidates", []):
+            candidates += 1
+            reason = c.get("reject_reason") or ""
+            if reason:
+                rejects[reason] = rejects.get(reason, 0) + 1
+    return {"plans": len(explains), "candidates": candidates,
+            "chosen_k": chosen_k, "paths": paths, "reject_reasons": rejects}
+
+
+def fault_timeline(run):
+    return [
+        {k: r.get(k) for k in
+         ("epoch", "failed_switches", "failed_links", "hot_recovery",
+          "replanned", "chosen_k", "k_bumped", "woken_backups",
+          "emergency_boots", "flows_rerouted", "time_to_replan_us",
+          "estimated_outage_violations")}
+        for r in run["by_source"].get("fault_recovery", [])
+    ]
+
+
+def summarize(run, errors):
+    return {
+        "name": run["name"],
+        "path": run["path"],
+        "records": len(run["records"]),
+        "sources": {s: len(v) for s, v in sorted(run["by_source"].items())},
+        "power": power_summary(run),
+        "latency": latency_summary(run),
+        "plan": plan_summary(run),
+        "faults": fault_timeline(run),
+        "invariant_errors": errors,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Markdown rendering.
+
+def fmt_w(x):
+    return f"{x:.2f}"
+
+
+def md_power_table(summaries):
+    rows = [
+        ("edge switches", "edge_w"), ("agg switches", "agg_w"),
+        ("core switches", "core_w"), ("links", "link_w"),
+        ("**network total**", "network_total_w"),
+        ("· of which linger overhead", "linger_overhead_w"),
+        ("server idle floor", "server_idle_w"),
+        ("server dynamic @ f_max", "server_dynamic_w"),
+        ("server DVFS residual", "server_dvfs_residual_w"),
+        ("**server total**", "server_total_w"),
+        ("**total**", "total_w"),
+    ]
+    header = "| component (mean W/epoch) | " + \
+        " | ".join(s["name"] for s in summaries) + " |"
+    sep = "|---" * (len(summaries) + 1) + "|"
+    lines = [header, sep]
+    for label, field in rows:
+        cells = []
+        for s in summaries:
+            p = s["power"]
+            cells.append(fmt_w(p[field]) if p else "-")
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    share = []
+    for s in summaries:
+        p = s["power"]
+        if p and p["total_w"]:
+            share.append(f"{100.0 * p['network_total_w'] / p['total_w']:.1f}%")
+        else:
+            share.append("-")
+    lines.append("| network share of total | " + " | ".join(share) + " |")
+    return lines
+
+
+def md_latency(summaries):
+    lines = ["| run | constraint us | network p95 us | network p99 us | "
+             "server budget us |", "|---|---|---|---|---|"]
+    for s in summaries:
+        lat = s["latency"]
+        if "constraint_us" not in lat:
+            continue
+        lines.append(
+            f"| {s['name']} | {lat['constraint_us']:.0f} | "
+            f"{lat['network_p95_us']:.1f} | {lat['network_p99_us']:.1f} | "
+            f"{lat['server_budget_us']:.1f} |")
+    hist_lines = []
+    for s in summaries:
+        for name, h in sorted(s["latency"].get("histograms", {}).items()):
+            if "latency" in name or "slack" in name or "_us" in name:
+                hist_lines.append(
+                    f"| {s['name']} | {name} | {h['count']} | "
+                    f"{h['p50']:.1f} | {h['p95']:.1f} | {h['p99']:.1f} |")
+    if hist_lines:
+        lines += ["", "| run | histogram | count | p50 | p95 | p99 |",
+                  "|---|---|---|---|---|---|"] + hist_lines
+    return lines
+
+
+def md_plans(summaries):
+    lines = []
+    for s in summaries:
+        plan = s["plan"]
+        if not plan:
+            continue
+        lines.append(f"**{s['name']}** — {plan['plans']} plans, "
+                     f"{plan['candidates']} candidates evaluated; paths: "
+                     + ", ".join(f"{k}={v}" for k, v in
+                                 sorted(plan["paths"].items()))
+                     + "; chosen K: "
+                     + ", ".join(f"K={k}×{v}" for k, v in
+                                 sorted(plan["chosen_k"].items())))
+        if plan["reject_reasons"]:
+            lines.append("  rejected candidates: " + ", ".join(
+                f"{k}×{v}" for k, v in sorted(plan["reject_reasons"].items())))
+        lines.append("")
+    return lines
+
+
+def md_faults(summaries):
+    lines = []
+    for s in summaries:
+        if not s["faults"]:
+            continue
+        lines += [f"**{s['name']}**", "",
+                  "| epoch | switches | links | recovery | K | boots | "
+                  "rerouted | t_replan us | outage misses |",
+                  "|---|---|---|---|---|---|---|---|---|"]
+        for f in s["faults"]:
+            kind = "hot" if f["hot_recovery"] else (
+                "cold" if f["replanned"] else "none")
+            lines.append(
+                f"| {f['epoch']} | {f['failed_switches']} | "
+                f"{f['failed_links']} | {kind} | {f['chosen_k']}"
+                f"{' (bumped)' if f['k_bumped'] else ''} | "
+                f"{f['emergency_boots']} | {f['flows_rerouted']} | "
+                f"{f['time_to_replan_us']:.0f} | "
+                f"{f['estimated_outage_violations']:.1f} |")
+        lines.append("")
+    return lines
+
+
+def md_diff(summaries):
+    base = summaries[0]
+    lines = ["| metric | " + " | ".join(s["name"] for s in summaries)
+             + " |", "|---" * (len(summaries) + 1) + "|"]
+    for label, getter in [
+        ("mean total W", lambda s: s["power"] and s["power"]["total_w"]),
+        ("mean network W",
+         lambda s: s["power"] and s["power"]["network_total_w"]),
+        ("mean server W",
+         lambda s: s["power"] and s["power"]["server_total_w"]),
+        ("feasible epochs",
+         lambda s: s["power"] and s["power"]["feasible_epochs"]),
+        ("records", lambda s: s["records"]),
+    ]:
+        cells = []
+        base_v = getter(base)
+        for s in summaries:
+            v = getter(s)
+            if v is None:
+                cells.append("-")
+            elif isinstance(v, float) and isinstance(base_v, float) \
+                    and base_v and s is not base:
+                cells.append(f"{v:.2f} ({100.0 * (v - base_v) / base_v:+.2f}%)")
+            elif isinstance(v, float):
+                cells.append(f"{v:.2f}")
+            else:
+                cells.append(str(v))
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    return lines
+
+
+def render_markdown(summaries, check_ran):
+    lines = ["# EPRONS run report", ""]
+    lines.append(f"Runs: {', '.join(s['name'] for s in summaries)}")
+    lines.append("")
+    total_errors = sum(len(s["invariant_errors"]) for s in summaries)
+    if check_ran or total_errors:
+        verdict = "PASS" if total_errors == 0 else f"FAIL ({total_errors})"
+        lines += [f"Attribution ledger invariants: **{verdict}** — every "
+                  "recorded total re-summed exactly (bit-identical float "
+                  "equality) from its components.", ""]
+        for s in summaries:
+            for err in s["invariant_errors"]:
+                lines.append(f"- {err}")
+        if total_errors:
+            lines.append("")
+    lines += ["## Power breakdown", ""]
+    lines += md_power_table(summaries)
+    lines += ["", "## Latency budget", ""]
+    lines += md_latency(summaries)
+    plan_lines = md_plans(summaries)
+    if plan_lines:
+        lines += ["", "## Planner decisions", ""] + plan_lines
+    fault_lines = md_faults(summaries)
+    if fault_lines:
+        lines += ["", "## Fault-recovery timeline", ""] + fault_lines
+    if len(summaries) > 1:
+        lines += ["", "## Cross-run diff (vs first run)", ""]
+        lines += md_diff(summaries)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="EPRONS epoch-JSONL report generator / invariant checker")
+    parser.add_argument("runs", nargs="+",
+                        help="JSONL files or sweep.py run directories")
+    parser.add_argument("--out", default=None,
+                        help="directory for report.md/report.json "
+                             "(default: print markdown to stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify attribution/plan-explain invariants; "
+                             "exit 1 on any violation")
+    args = parser.parse_args()
+
+    summaries = []
+    for path in args.runs:
+        run = load_run(path)
+        errors = check_run(run)
+        summaries.append(summarize(run, errors))
+
+    markdown = render_markdown(summaries, args.check)
+    report = {"runs": summaries}
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.md").write_text(markdown)
+        (out / "report.json").write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out / 'report.md'} and {out / 'report.json'}")
+    else:
+        print(markdown)
+
+    total_errors = sum(len(s["invariant_errors"]) for s in summaries)
+    if args.check:
+        if total_errors:
+            print(f"invariant check FAILED: {total_errors} violations",
+                  file=sys.stderr)
+            return 1
+        atts = sum(s["sources"].get("attribution", 0) for s in summaries)
+        plans = sum(s["sources"].get("plan_explain", 0) for s in summaries)
+        if atts == 0 or plans == 0:
+            print("invariant check FAILED: no attribution/plan_explain "
+                  "records found (nothing was verified)", file=sys.stderr)
+            return 1
+        print(f"invariant check passed: {atts} attribution and {plans} "
+              f"plan_explain records verified bit-exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,26 @@
 #include "consolidate/consolidation.h"
 
+#include <cstring>
+
 namespace eprons {
+
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t hash, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return fnv1a(hash, bits);
+}
+
+}  // namespace
 
 LinkUtilization ConsolidationResult::offered_load(const Graph& graph,
                                                   const FlowSet& flows) const {
@@ -46,6 +66,26 @@ void finalize_result(const Graph& graph, const ConsolidationConfig& config,
   result.network_power =
       ((result.edge_power_w + result.agg_power_w) + result.core_power_w) +
       result.link_power_w;
+}
+
+std::uint64_t placement_fingerprint(const ConsolidationResult& result) {
+  std::uint64_t hash = 14695981039346656037ull;
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.feasible ? 1 : 0));
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.switch_on.size()));
+  for (std::size_t i = 0; i < result.switch_on.size(); ++i) {
+    if (result.switch_on[i]) hash = fnv1a(hash, static_cast<std::uint64_t>(i));
+  }
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.link_on.size()));
+  for (std::size_t i = 0; i < result.link_on.size(); ++i) {
+    if (result.link_on[i]) hash = fnv1a(hash, static_cast<std::uint64_t>(i));
+  }
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.flow_paths.size()));
+  for (const Path& path : result.flow_paths) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(path.size()));
+    for (NodeId n : path) hash = fnv1a(hash, static_cast<std::uint64_t>(n));
+  }
+  hash = fnv1a(hash, result.network_power);
+  return hash;
 }
 
 void activate_path(const Graph& graph, const Path& path,

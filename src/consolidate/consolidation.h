@@ -9,6 +9,7 @@
 //     algorithm similar to the greedy bin-packing algorithm in [2]").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "flow/demand_delta.h"
@@ -50,6 +51,22 @@ struct ConsolidationConfig {
   /// order, and therefore every placement, is identical either way. Not
   /// owned; must be built over the same Topology passed to consolidate().
   const PathCatalog* path_catalog = nullptr;
+  /// When non-empty (directed-arc-indexed: slot = LinkId*2 + direction, the
+  /// same layout the greedy packer and the MILP capacity rows use), load in
+  /// Mbps already committed on each arc by an *earlier* solve phase. The
+  /// consolidator subtracts it from the usable capacity before placing its
+  /// own flows. This is the composition hook the hierarchical consolidator
+  /// uses: pod-phase placements charge the fabric arcs they ride, and the
+  /// core phase packs the inter-pod flows into the remaining headroom. The
+  /// values must already be K-scaled / host-adjacency-adjusted exactly as
+  /// the packer would charge them.
+  std::vector<Bandwidth> committed_arc_load;
+  /// When non-empty (NodeId-indexed), switches marked true are already
+  /// powered by an earlier solve phase: the objective treats them as free
+  /// (zero marginal power) and they arrive pre-marked in the returned
+  /// switch_on mask. Used by the hierarchical core phase so inter-pod flows
+  /// prefer aggregation switches the pod phase already lit.
+  std::vector<bool> preactivated_switches;
 };
 
 struct ConsolidationResult {
@@ -154,6 +171,13 @@ class Consolidator {
 /// Fills active counts and network power from the masks.
 void finalize_result(const Graph& graph, const ConsolidationConfig& config,
                      ConsolidationResult& result);
+
+/// 64-bit FNV-1a digest of a placement: feasibility, both masks, every
+/// flow path, and the network power bits. Two results compare equal under
+/// the determinism contract iff their fingerprints match, so tests, the
+/// ablation bench, and CI diff plans across `--threads` by comparing this
+/// one value instead of deep-comparing vectors.
+std::uint64_t placement_fingerprint(const ConsolidationResult& result);
 
 /// Marks every switch/link along `path` as on.
 void activate_path(const Graph& graph, const Path& path,

@@ -51,12 +51,28 @@ struct Packer {
         result.switch_on[static_cast<std::size_t>(n.id)] = true;
       }
     }
+    // Switches an earlier solve phase already powered cost nothing extra:
+    // pre-marking them makes MinimizeSwitches score paths through them as
+    // free, and they come back on in the returned mask.
+    for (std::size_t i = 0;
+         i < config.preactivated_switches.size() && i < result.switch_on.size();
+         ++i) {
+      if (config.preactivated_switches[i]) result.switch_on[i] = true;
+    }
     residual.assign(graph.num_links() * 2, 0.0);
     for (const Link& l : graph.links()) {
       const Bandwidth usable =
           std::max(0.0, l.capacity - config.safety_margin);
       residual[static_cast<std::size_t>(l.id) * 2] = usable;
       residual[static_cast<std::size_t>(l.id) * 2 + 1] = usable;
+    }
+    // Load committed by an earlier phase eats into the usable headroom
+    // before this pack places anything (may push an arc negative — no flow
+    // fits there then, exactly as after an overflow placement).
+    for (std::size_t slot = 0;
+         slot < config.committed_arc_load.size() && slot < residual.size();
+         ++slot) {
+      residual[slot] -= config.committed_arc_load[slot];
     }
   }
 

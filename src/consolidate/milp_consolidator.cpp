@@ -35,8 +35,14 @@ PathMilp build_path_milp(const Topology& topo, const FlowSet& flows,
   milp.y_var.assign(graph.num_nodes(), -1);
   for (const Node& n : graph.nodes()) {
     if (is_switch_type(n.type)) {
+      // Switches an earlier solve phase already powered are free here — the
+      // hierarchical core phase should prefer pod-lit aggregation switches
+      // over waking new ones.
+      const std::size_t ni = static_cast<std::size_t>(n.id);
+      const bool preactivated = ni < config.preactivated_switches.size() &&
+                                config.preactivated_switches[ni];
       const int y = model.add_binary(strformat("Y_%s", n.name.c_str()),
-                                     config.switch_power);
+                                     preactivated ? 0.0 : config.switch_power);
       milp.y_var[static_cast<std::size_t>(n.id)] = y;
       // Subnet restriction: pin disallowed switches off.
       if (!config.allowed_switches.empty() &&
@@ -129,11 +135,19 @@ PathMilp build_path_milp(const Topology& topo, const FlowSet& flows,
                   std::move(choose));
   }
 
-  // Eq. (4): per-directed-arc capacity gated by the link's X.
+  // Eq. (4): per-directed-arc capacity gated by the link's X. Load an
+  // earlier solve phase committed on the arc shrinks the usable headroom
+  // (possibly to zero or below, which pins every positive-demand path off
+  // that arc).
   for (auto& [arc, entries] : arc_demand) {
     if (entries.empty()) continue;
     const Link& l = graph.link(arc.first);
-    const Bandwidth usable = l.capacity - config.safety_margin;
+    Bandwidth usable = l.capacity - config.safety_margin;
+    const std::size_t slot =
+        static_cast<std::size_t>(arc.first) * 2 + (arc.second ? 0 : 1);
+    if (slot < config.committed_arc_load.size()) {
+      usable -= config.committed_arc_load[slot];
+    }
     std::vector<lp::RowEntry> row = entries;
     row.push_back({milp.x_var[static_cast<std::size_t>(arc.first)], -usable});
     model.add_row(strformat("cap_l%d_%c", arc.first, arc.second ? 'f' : 'r'),
@@ -199,6 +213,11 @@ ConsolidationResult extract_solution(const Graph& graph, const FlowSet& flows,
       result.switch_on[static_cast<std::size_t>(n.id)] = true;
     }
   }
+  for (std::size_t i = 0;
+       i < config.preactivated_switches.size() && i < result.switch_on.size();
+       ++i) {
+    if (config.preactivated_switches[i]) result.switch_on[i] = true;
+  }
   if (!sol.ok()) {
     result.feasible = false;
     return result;
@@ -231,6 +250,11 @@ ConsolidationResult empty_flows_result(const Graph& graph,
     if (n.type == NodeType::Host) {
       result.switch_on[static_cast<std::size_t>(n.id)] = true;
     }
+  }
+  for (std::size_t i = 0;
+       i < config.preactivated_switches.size() && i < result.switch_on.size();
+       ++i) {
+    if (config.preactivated_switches[i]) result.switch_on[i] = true;
   }
   result.feasible = true;
   result.flow_paths.clear();

@@ -77,8 +77,9 @@ EpochController::EpochController(const Topology* topo,
   if (config_.runtime.threads > 1) {
     config_.joint.runtime = config_.runtime;
   }
-  optimizer_ = std::make_unique<JointOptimizer>(topo_, service_model_,
-                                                power_model_, config_.joint);
+  optimizer_ = std::make_unique<JointOptimizer>(
+      topo_, service_model_, power_model_, config_.joint,
+      config_.consolidator);
 }
 
 EpochReport EpochController::run_epoch(const FlowSet& true_background,

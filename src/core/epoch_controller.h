@@ -50,6 +50,10 @@ struct EpochControllerConfig {
   /// `obs::epoch_log()` sink if `--epoch-log` configured one (and are
   /// dropped otherwise).
   obs::JsonlWriter* epoch_log = nullptr;
+  /// Consolidation strategy for the internal joint optimizer (greedy, MILP,
+  /// or the hierarchical pod decomposition). Not owned; must outlive the
+  /// controller. nullptr = the optimizer's default greedy.
+  const Consolidator* consolidator = nullptr;
 };
 
 struct EpochReport {

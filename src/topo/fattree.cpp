@@ -87,6 +87,17 @@ NodeId FatTree::core_flat(int index) const {
   return core(index / half, index % half);
 }
 
+std::vector<bool> FatTree::pod_switch_mask(int pod) const {
+  std::vector<bool> mask(static_cast<std::size_t>(graph_.num_nodes()), false);
+  for (NodeId e : edges_.at(static_cast<std::size_t>(pod))) {
+    mask[static_cast<std::size_t>(e)] = true;
+  }
+  for (NodeId a : aggs_.at(static_cast<std::size_t>(pod))) {
+    mask[static_cast<std::size_t>(a)] = true;
+  }
+  return mask;
+}
+
 std::vector<Path> FatTree::all_paths(int src_host, int dst_host) const {
   if (src_host == dst_host) {
     throw std::invalid_argument("src and dst hosts must differ");

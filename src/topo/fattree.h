@@ -44,7 +44,15 @@ class FatTree final : public Topology {
   NodeId core(int row, int col) const;
   NodeId core_flat(int index) const;  // index in [0, num_core)
 
-  int pod_of_host(int host_index) const { return host_index / (k_ * k_ / 4 / k_); }
+  /// Hosts under one pod's k/2 edge switches: (k/2)^2.
+  int hosts_per_pod() const { return (k_ / 2) * (k_ / 2); }
+
+  int pod_of_host(int host_index) const { return host_index / hosts_per_pod(); }
+
+  /// NodeId-indexed mask of the pod's edge and aggregation switches (cores
+  /// belong to no pod). This is the allowed_switches restriction the
+  /// hierarchical consolidator hands each per-pod solve.
+  std::vector<bool> pod_switch_mask(int pod) const;
 
   /// Every loop-free shortest path between two distinct hosts:
   ///   same edge switch  -> 1 path (h, e, h')

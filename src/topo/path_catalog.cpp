@@ -8,8 +8,8 @@ namespace eprons {
 PathCatalog::PathCatalog(const Topology* topo)
     : topo_(topo),
       hosts_(topo->num_hosts()),
-      entries_(static_cast<std::size_t>(hosts_) *
-               static_cast<std::size_t>(hosts_)) {}
+      shards_(std::make_unique<Shard[]>(
+          static_cast<std::size_t>(topo->num_hosts()))) {}
 
 const std::vector<CatalogPath>& PathCatalog::pair(int src_host,
                                                   int dst_host) const {
@@ -17,9 +17,15 @@ const std::vector<CatalogPath>& PathCatalog::pair(int src_host,
       dst_host >= hosts_) {
     throw std::out_of_range("PathCatalog::pair: host index out of range");
   }
-  Entry& entry = entries_[static_cast<std::size_t>(src_host) *
-                              static_cast<std::size_t>(hosts_) +
-                          static_cast<std::size_t>(dst_host)];
+  Shard& shard = shards_[static_cast<std::size_t>(src_host)];
+  Entry* entry_ptr = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_ptr<Entry>& slot = shard.by_dst[dst_host];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry_ptr = slot.get();
+  }
+  Entry& entry = *entry_ptr;
   std::call_once(entry.once, [&] {
     const Graph& graph = topo_->graph();
     std::vector<CatalogPath> annotated;

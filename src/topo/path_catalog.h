@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "topo/topology.h"
@@ -43,15 +45,21 @@ struct CatalogPath {
 
 class PathCatalog {
  public:
-  /// The topology must outlive the catalog. Entries are built lazily, so
-  /// construction is O(hosts^2) pointers, not an enumeration of the fabric.
+  /// The topology must outlive the catalog. Storage is sparse: one shard
+  /// per source host, each a hash map keyed by destination, populated only
+  /// for pairs actually planned. A k=32 fat-tree has 8192 hosts — a dense
+  /// hosts x hosts entry table would be 67M slots before the first flow is
+  /// placed; the sparse layout is O(hosts) empty shards up front and
+  /// O(pairs used) thereafter.
   explicit PathCatalog(const Topology* topo);
 
   const Topology& topology() const { return *topo_; }
 
   /// The annotated all_paths(src_host, dst_host) list. First use per pair
-  /// enumerates and annotates under a std::call_once; later uses — from any
-  /// thread — are read-only. Host indices must be in [0, num_hosts).
+  /// enumerates and annotates (a short shard-lock to find-or-create the
+  /// entry, then a std::call_once fill); later uses — from any thread — are
+  /// read-only map lookups plus a passed call_once. Host indices must be in
+  /// [0, num_hosts).
   const std::vector<CatalogPath>& pair(int src_host, int dst_host) const;
 
  private:
@@ -59,10 +67,16 @@ class PathCatalog {
     std::once_flag once;
     std::vector<CatalogPath> paths;
   };
+  /// All destinations reachable from one source host. Entries are
+  /// heap-pinned so the returned reference stays valid across rehashes.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<int, std::unique_ptr<Entry>> by_dst;
+  };
 
   const Topology* topo_;
   int hosts_;
-  mutable std::vector<Entry> entries_;  // hosts_ * hosts_, row-major by src
+  mutable std::unique_ptr<Shard[]> shards_;  // hosts_ shards, indexed by src
 };
 
 }  // namespace eprons

@@ -111,6 +111,23 @@ TEST(AttributionLedger, LayeredNetworkPowerPartitionsActiveSwitches) {
   EXPECT_EQ(net.core_switches, plan.placement.core_switches);
 }
 
+TEST(AttributionLedger, LayeredPowerToleratesShortMasksAtScale) {
+  // Regression for the k=16 path: a mask shorter than the node table
+  // (e.g. a pod-local sub-result before the hierarchical stitch resizes
+  // it) must count only the prefix it covers, never read past its end.
+  const FatTree topo(16);
+  const Graph& g = topo.graph();
+  std::vector<bool> on(static_cast<std::size_t>(g.num_nodes()), true);
+  const LayeredNetworkPower full = layered_network_power(g, on, 36.0);
+  EXPECT_EQ(full.active_switches, topo.num_switches());
+  EXPECT_EQ(full.total_w, topo.num_switches() * 36.0);
+  on.resize(on.size() / 2);
+  const LayeredNetworkPower half = layered_network_power(g, on, 36.0);
+  EXPECT_LT(half.active_switches, full.active_switches);
+  EXPECT_EQ(half.total_w, ((half.edge_w + half.agg_w) + half.core_w));
+  EXPECT_EQ(layered_network_power(g, {}, 36.0).active_switches, 0);
+}
+
 TEST(AttributionLedger, LingerChargedToTransitionPolicy) {
   const FatTree topo(4);
   const ServiceModel model = test_model();

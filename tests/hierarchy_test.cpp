@@ -1,0 +1,618 @@
+// Differential and property battery for the hierarchical pod-decomposed
+// consolidator (src/consolidate/hierarchical_consolidator.h).
+//
+// The solver is trusted only as far as this file proves it:
+//   * differential vs the flat greedy and the exact MILP on k=4/k=8 across
+//     seeded random instances (healthy, degraded, warm-started);
+//   * byte-identical plans for --threads 1/4/8 (placement_fingerprint plus
+//     deep equality);
+//   * seeded property fuzzing at k=4..16 over adversarial scenario shapes
+//     (pod-skewed demand, zero-demand pods, single-flow pods, saturating
+//     bursts) asserting the placement invariants: every flow routed within
+//     scaled capacity, the attribution exact-sum invariant, and no
+//     powered-off switch carrying traffic;
+//   * SLA satisfaction through the joint optimizer with the hierarchical
+//     consolidator selected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "consolidate/hierarchical_consolidator.h"
+#include "consolidate/milp_consolidator.h"
+#include "core/scenario.h"
+#include "util/rng.h"
+
+namespace eprons {
+namespace {
+
+ConsolidationConfig base_config(double k) {
+  ConsolidationConfig config;
+  config.scale_factor_k = k;
+  config.safety_margin = 50.0;
+  config.switch_power = 36.0;
+  return config;
+}
+
+FlowSet random_flows(const FatTree& ft, Rng& rng, int count, double lo,
+                     double hi, double sensitive_prob = 0.5) {
+  const int hosts = ft.num_hosts();
+  FlowSet flows;
+  for (int i = 0; i < count; ++i) {
+    const int src = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    int dst = src;
+    while (dst == src) dst = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    flows.add(src, dst, rng.uniform(lo, hi),
+              rng.bernoulli(sensitive_prob) ? FlowClass::LatencySensitive
+                                            : FlowClass::LatencyTolerant);
+  }
+  return flows;
+}
+
+/// The shared placement invariants: every flow routed host-to-host over
+/// adjacent, powered, allowed switches; no blocked link crossed; every
+/// traversed link marked on (so no powered-off element carries traffic);
+/// and per-directed-arc reservations within capacity - margin, charged
+/// exactly as the packer charges them (host-adjacent hops unscaled,
+/// fabric hops K-scaled).
+void check_placement_valid(const FatTree& ft, const FlowSet& flows,
+                           const ConsolidationConfig& config,
+                           const ConsolidationResult& result,
+                           const char* tag) {
+  const Graph& g = ft.graph();
+  std::vector<double> arc_load(static_cast<std::size_t>(g.num_links()) * 2,
+                               0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const Path& path = result.flow_paths[i];
+    ASSERT_GE(path.size(), 2u) << tag << " flow " << i;
+    EXPECT_EQ(path.front(), ft.host(flows[i].src_host)) << tag << " flow " << i;
+    EXPECT_EQ(path.back(), ft.host(flows[i].dst_host)) << tag << " flow " << i;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const LinkId link = g.find_link(path[h], path[h + 1]);
+      ASSERT_NE(link, kInvalidLink) << tag << " flow " << i << " hop " << h;
+      EXPECT_TRUE(result.link_on[static_cast<std::size_t>(link)])
+          << tag << " flow " << i << " rides powered-off link " << link;
+      if (!config.blocked_links.empty()) {
+        EXPECT_FALSE(config.blocked_links[static_cast<std::size_t>(link)])
+            << tag << " flow " << i << " crosses blocked link " << link;
+      }
+      const bool forward = g.link(link).a == path[h];
+      const bool host_adjacent =
+          !g.is_switch(path[h]) || !g.is_switch(path[h + 1]);
+      arc_load[static_cast<std::size_t>(link) * 2 + (forward ? 0u : 1u)] +=
+          host_adjacent ? flows[i].demand
+                        : flows[i].scaled_demand(config.scale_factor_k);
+    }
+    for (const NodeId n : path) {
+      if (!g.is_switch(n)) continue;
+      EXPECT_TRUE(result.switch_on[static_cast<std::size_t>(n)])
+          << tag << " flow " << i << " uses powered-off switch " << n;
+      if (!config.allowed_switches.empty()) {
+        EXPECT_TRUE(config.allowed_switches[static_cast<std::size_t>(n)])
+            << tag << " flow " << i << " uses disallowed switch " << n;
+      }
+    }
+  }
+  for (const Link& l : g.links()) {
+    const double usable = std::max(0.0, l.capacity - config.safety_margin);
+    for (unsigned d = 0; d < 2; ++d) {
+      EXPECT_LE(arc_load[static_cast<std::size_t>(l.id) * 2 + d],
+                usable + 1e-9)
+          << tag << " link " << l.id << " dir " << d;
+    }
+  }
+}
+
+/// The attribution contract: the headline network power IS the fixed-order
+/// sum of the per-layer components, and each component is its count times
+/// the configured per-switch power — bit-exact, no tolerance.
+void check_attribution_exact(const ConsolidationConfig& config,
+                             const ConsolidationResult& result,
+                             const char* tag) {
+  EXPECT_EQ(result.edge_power_w, result.edge_switches * config.switch_power)
+      << tag;
+  EXPECT_EQ(result.agg_power_w, result.agg_switches * config.switch_power)
+      << tag;
+  EXPECT_EQ(result.core_power_w, result.core_switches * config.switch_power)
+      << tag;
+  EXPECT_EQ(result.link_power_w, result.active_links * config.link_power)
+      << tag;
+  EXPECT_EQ(result.network_power,
+            ((result.edge_power_w + result.agg_power_w) +
+             result.core_power_w) +
+                result.link_power_w)
+      << tag;
+  EXPECT_EQ(result.active_switches, result.edge_switches +
+                                        result.agg_switches +
+                                        result.core_switches)
+      << tag;
+}
+
+/// Deep equality of two placements (stronger than fingerprint equality;
+/// the fingerprint is additionally compared because CI diffs on it).
+void expect_identical(const ConsolidationResult& a,
+                      const ConsolidationResult& b, const char* tag) {
+  EXPECT_EQ(a.feasible, b.feasible) << tag;
+  EXPECT_EQ(a.switch_on, b.switch_on) << tag;
+  EXPECT_EQ(a.link_on, b.link_on) << tag;
+  EXPECT_EQ(a.flow_paths, b.flow_paths) << tag;
+  EXPECT_EQ(a.network_power, b.network_power) << tag;
+  EXPECT_EQ(placement_fingerprint(a), placement_fingerprint(b)) << tag;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: hierarchical vs flat greedy and vs exact MILP.
+
+struct DiffStats {
+  int trials = 0;
+  int both_feasible = 0;
+  double worst_vs_flat = 1.0;
+};
+
+DiffStats run_greedy_differential(int k_ary, int trials, int flows_per_trial,
+                                  std::uint64_t seed, bool degraded) {
+  const FatTree ft(k_ary);
+  const Graph& g = ft.graph();
+  const GreedyConsolidator flat(&ft);
+  const HierarchicalConsolidator hier;
+  DiffStats stats;
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    const FlowSet flows = random_flows(ft, rng, flows_per_trial, 20.0, 220.0);
+    ConsolidationConfig config = base_config(trial % 2 == 0 ? 1.0 : 2.0);
+    if (degraded) {
+      // One dead aggregation switch, one dead core, one blocked fabric
+      // link per trial — the shape the fault-recovery path produces.
+      std::vector<NodeId> aggs, cores;
+      for (const Node& node : g.nodes()) {
+        if (node.type == NodeType::AggSwitch) aggs.push_back(node.id);
+        if (node.type == NodeType::CoreSwitch) cores.push_back(node.id);
+      }
+      config.allowed_switches.assign(g.num_nodes(), true);
+      config.allowed_switches[static_cast<std::size_t>(
+          aggs[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(aggs.size()) - 1))])] = false;
+      config.allowed_switches[static_cast<std::size_t>(
+          cores[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(cores.size()) - 1))])] = false;
+      std::vector<LinkId> fabric;
+      for (const Link& l : g.links()) {
+        if (g.is_switch(l.a) && g.is_switch(l.b)) fabric.push_back(l.id);
+      }
+      config.blocked_links.assign(g.num_links(), false);
+      config.blocked_links[static_cast<std::size_t>(
+          fabric[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(fabric.size()) - 1))])] = true;
+    }
+
+    const ConsolidationResult flat_result = flat.consolidate(ft, flows, config);
+    const ConsolidationResult hier_result = hier.consolidate(ft, flows, config);
+    ++stats.trials;
+    check_attribution_exact(config, hier_result, "hier");
+    if (hier_result.feasible) {
+      check_placement_valid(ft, flows, config, hier_result, "hier");
+    }
+    if (!flat_result.feasible || !hier_result.feasible) continue;
+    check_placement_valid(ft, flows, config, flat_result, "flat");
+    ++stats.both_feasible;
+    EXPECT_GT(flat_result.network_power, 0.0);
+    if (flat_result.network_power <= 0.0) continue;
+    const double ratio = hier_result.network_power / flat_result.network_power;
+    // Bounded power gap: the decomposition may light a few extra switches
+    // (pods pack blind to inter-pod traffic) but must stay in the same
+    // ballpark as the flat heuristic — and can also beat it.
+    EXPECT_LE(ratio, 1.6) << "seed " << seed << " trial " << trial
+                          << " hier " << hier_result.network_power
+                          << " W vs flat " << flat_result.network_power
+                          << " W";
+    stats.worst_vs_flat = std::max(stats.worst_vs_flat, ratio);
+  }
+  return stats;
+}
+
+TEST(HierarchyDifferential, MatchesFlatGreedyK4AcrossSeeds) {
+  // >= 20 distinct seeds, healthy instances.
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    const DiffStats stats =
+        run_greedy_differential(4, 3, 6, seed, /*degraded=*/false);
+    compared += stats.both_feasible;
+  }
+  EXPECT_GE(compared, 40);
+}
+
+TEST(HierarchyDifferential, MatchesFlatGreedyK8AcrossSeeds) {
+  int compared = 0;
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const DiffStats stats =
+        run_greedy_differential(8, 2, 24, seed, /*degraded=*/false);
+    compared += stats.both_feasible;
+  }
+  EXPECT_GE(compared, 30);
+}
+
+TEST(HierarchyDifferential, BlockedLinksAndDeadSwitchesK4) {
+  int compared = 0;
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    const DiffStats stats =
+        run_greedy_differential(4, 2, 5, seed, /*degraded=*/true);
+    compared += stats.both_feasible;
+  }
+  EXPECT_GE(compared, 20);
+}
+
+TEST(HierarchyDifferential, BlockedLinksAndDeadSwitchesK8) {
+  int compared = 0;
+  for (std::uint64_t seed = 400; seed < 410; ++seed) {
+    const DiffStats stats =
+        run_greedy_differential(8, 1, 20, seed, /*degraded=*/true);
+    compared += stats.both_feasible;
+  }
+  EXPECT_GE(compared, 7);
+}
+
+TEST(HierarchyDifferential, NeverBeatsExactMilpK4) {
+  // The MILP optimum lower-bounds any feasible placement, hierarchical
+  // included; and the hierarchical plan must stay within a bounded factor
+  // of it.
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const HierarchicalConsolidator hier;
+  int compared = 0;
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FlowSet flows = random_flows(ft, rng, 5, 30.0, 250.0);
+    const ConsolidationConfig config = base_config(1.0);
+    const ConsolidationResult exact = milp.consolidate(ft, flows, config);
+    const ConsolidationResult hr = hier.consolidate(ft, flows, config);
+    if (!exact.feasible || !hr.feasible) continue;
+    check_placement_valid(ft, flows, config, hr, "hier");
+    EXPECT_GE(hr.network_power, exact.network_power - 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(hr.network_power, exact.network_power * 2.5 + 1e-9)
+        << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GE(compared, 14);
+}
+
+TEST(HierarchyDifferential, MilpInnerSolvesPodsExactly) {
+  // The decomposition composes any inner Consolidator: with the MILP
+  // inside, each pod and the core instance are solved exactly.
+  const FatTree ft(4);
+  const MilpConsolidator milp(&ft);
+  const HierarchicalConsolidator hier(&milp);
+  Rng rng(99);
+  int compared = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const FlowSet flows = random_flows(ft, rng, 5, 30.0, 200.0);
+    const ConsolidationConfig config = base_config(1.0);
+    const ConsolidationResult flat_exact = milp.consolidate(ft, flows, config);
+    const ConsolidationResult hr = hier.consolidate(ft, flows, config);
+    if (!flat_exact.feasible || !hr.feasible) continue;
+    check_placement_valid(ft, flows, config, hr, "hier-milp");
+    EXPECT_GE(hr.network_power, flat_exact.network_power - 1e-9);
+    ++compared;
+  }
+  EXPECT_GE(compared, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism: byte-identical plans for --threads 1/4/8.
+
+TEST(HierarchyDeterminism, ByteIdenticalAcrossThreads148) {
+  for (const int k_ary : {4, 8}) {
+    const FatTree ft(k_ary);
+    const HierarchicalConsolidator serial;
+    const HierarchicalConsolidator four(nullptr, {4});
+    const HierarchicalConsolidator eight(nullptr, {8});
+    for (const std::uint64_t seed : {1ull, 42ull, 99ull}) {
+      Rng rng(seed);
+      const FlowSet flows =
+          random_flows(ft, rng, k_ary == 4 ? 8 : 32, 20.0, 200.0);
+      const ConsolidationConfig config = base_config(2.0);
+      const ConsolidationResult r1 = serial.consolidate(ft, flows, config);
+      const ConsolidationResult r4 = four.consolidate(ft, flows, config);
+      const ConsolidationResult r8 = eight.consolidate(ft, flows, config);
+      expect_identical(r1, r4, "threads 1 vs 4");
+      expect_identical(r1, r8, "threads 1 vs 8");
+    }
+  }
+}
+
+TEST(HierarchyDeterminism, WarmStartByteIdenticalAcrossThreads) {
+  const FatTree ft(8);
+  const HierarchicalConsolidator serial;
+  const HierarchicalConsolidator eight(nullptr, {8});
+  Rng rng(4242);
+  const FlowSet previous_flows = random_flows(ft, rng, 24, 20.0, 180.0);
+  const ConsolidationConfig config = base_config(1.0);
+  const ConsolidationResult previous =
+      serial.consolidate(ft, previous_flows, config);
+  ASSERT_TRUE(previous.feasible);
+
+  // Jitter ~10% of demands (same endpoints, so every bucket is stable).
+  FlowSet next;
+  for (std::size_t i = 0; i < previous_flows.size(); ++i) {
+    const Flow& f = previous_flows[i];
+    const double demand = i % 10 == 0 ? f.demand * 1.1 : f.demand;
+    next.add(f.src_host, f.dst_host, demand, f.cls);
+  }
+  WarmStartHint warm;
+  warm.previous_flows = &previous_flows;
+  warm.previous = &previous;
+  const ConsolidationResult w1 =
+      serial.consolidate_incremental(ft, next, config, &warm);
+  const ConsolidationResult w8 =
+      eight.consolidate_incremental(ft, next, config, &warm);
+  expect_identical(w1, w8, "warm threads 1 vs 8");
+  ASSERT_TRUE(w1.feasible);
+  check_placement_valid(ft, next, config, w1, "warm");
+  check_attribution_exact(config, w1, "warm");
+}
+
+// ---------------------------------------------------------------------------
+// Warm start semantics.
+
+TEST(HierarchyWarmStart, StablePartitionKeepsPathsAndConstraints) {
+  const FatTree ft(4);
+  const HierarchicalConsolidator hier;
+  Rng rng(31);
+  const FlowSet previous_flows = random_flows(ft, rng, 8, 20.0, 150.0);
+  const ConsolidationConfig config = base_config(1.0);
+  const ConsolidationResult previous =
+      hier.consolidate(ft, previous_flows, config);
+  ASSERT_TRUE(previous.feasible);
+
+  FlowSet next;
+  for (std::size_t i = 0; i < previous_flows.size(); ++i) {
+    const Flow& f = previous_flows[i];
+    next.add(f.src_host, f.dst_host, f.demand * (i == 0 ? 1.05 : 1.0), f.cls);
+  }
+  WarmStartHint warm;
+  warm.previous_flows = &previous_flows;
+  warm.previous = &previous;
+  const ConsolidationResult warmed =
+      hier.consolidate_incremental(ft, next, config, &warm);
+  ASSERT_TRUE(warmed.feasible);
+  EXPECT_TRUE(warmed.warm_started);
+  check_placement_valid(ft, next, config, warmed, "warm");
+  check_attribution_exact(config, warmed, "warm");
+  // A 5% wiggle on one flow re-routes nothing.
+  EXPECT_EQ(warmed.flow_paths, previous.flow_paths);
+}
+
+TEST(HierarchyWarmStart, BucketChangeFallsBackToColdSolve) {
+  const FatTree ft(4);
+  const HierarchicalConsolidator hier;
+  Rng rng(37);
+  const FlowSet previous_flows = random_flows(ft, rng, 6, 20.0, 150.0);
+  const ConsolidationConfig config = base_config(1.0);
+  const ConsolidationResult previous =
+      hier.consolidate(ft, previous_flows, config);
+  ASSERT_TRUE(previous.feasible);
+
+  // Retarget flow 0 into a different pod: its bucket changes, so the
+  // decomposed warm start must be abandoned for a cold decomposed solve.
+  FlowSet next;
+  for (std::size_t i = 0; i < previous_flows.size(); ++i) {
+    const Flow& f = previous_flows[i];
+    int dst = f.dst_host;
+    if (i == 0) {
+      dst = (f.dst_host + ft.hosts_per_pod()) % ft.num_hosts();
+      if (dst == f.src_host) dst = (dst + 1) % ft.num_hosts();
+    }
+    next.add(f.src_host, dst, f.demand, f.cls);
+  }
+  WarmStartHint warm;
+  warm.previous_flows = &previous_flows;
+  warm.previous = &previous;
+  const ConsolidationResult warmed =
+      hier.consolidate_incremental(ft, next, config, &warm);
+  const ConsolidationResult cold = hier.consolidate(ft, next, config);
+  EXPECT_FALSE(warmed.warm_started);
+  expect_identical(warmed, cold, "bucket-change fallback vs cold");
+}
+
+// ---------------------------------------------------------------------------
+// Property/fuzz battery at k = 4..16.
+
+/// Seeded adversarial scenario generator. Shapes:
+///   0 — pod-skewed: ~70% of flows inside one hot pod;
+///   1 — zero-demand pods: flows only between two pods, others silent
+///       (plus one zero-demand control flow);
+///   2 — single-flow pods: exactly one intra-pod flow per pod;
+///   3 — saturating burst: a few elephants near capacity plus mice.
+FlowSet fuzz_scenario(const FatTree& ft, int shape, Rng& rng) {
+  const int hosts = ft.num_hosts();
+  const int per_pod = ft.hosts_per_pod();
+  FlowSet flows;
+  switch (shape % 4) {
+    case 0: {
+      const int hot = static_cast<int>(
+          rng.uniform_int(0, ft.num_pods() - 1));
+      const int n = 6 + static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.7)) {
+          const int src = hot * per_pod +
+                          static_cast<int>(rng.uniform_int(0, per_pod - 1));
+          int dst = src;
+          while (dst == src) {
+            dst = hot * per_pod +
+                  static_cast<int>(rng.uniform_int(0, per_pod - 1));
+          }
+          flows.add(src, dst, rng.uniform(20.0, 300.0),
+                    FlowClass::LatencySensitive);
+        } else {
+          const int src = static_cast<int>(rng.uniform_int(0, hosts - 1));
+          int dst = src;
+          while (dst == src) {
+            dst = static_cast<int>(rng.uniform_int(0, hosts - 1));
+          }
+          flows.add(src, dst, rng.uniform(20.0, 200.0),
+                    FlowClass::LatencyTolerant);
+        }
+      }
+      break;
+    }
+    case 1: {
+      const int pod_a = 0;
+      const int pod_b = ft.num_pods() - 1;
+      for (int i = 0; i < 5; ++i) {
+        const int src = pod_a * per_pod +
+                        static_cast<int>(rng.uniform_int(0, per_pod - 1));
+        const int dst = pod_b * per_pod +
+                        static_cast<int>(rng.uniform_int(0, per_pod - 1));
+        flows.add(src, dst, rng.uniform(30.0, 250.0),
+                  FlowClass::LatencyTolerant);
+      }
+      flows.add(0, per_pod - 1 > 0 ? 1 : per_pod, 0.0,
+                FlowClass::LatencySensitive);
+      break;
+    }
+    case 2: {
+      for (int pod = 0; pod < ft.num_pods(); ++pod) {
+        const int src = pod * per_pod;
+        const int dst = pod * per_pod + (per_pod > 1 ? 1 : 0);
+        if (src == dst) continue;
+        flows.add(src, dst, rng.uniform(10.0, 400.0),
+                  FlowClass::LatencySensitive);
+      }
+      break;
+    }
+    default: {
+      for (int i = 0; i < 3; ++i) {
+        const int src = static_cast<int>(rng.uniform_int(0, hosts - 1));
+        int dst = src;
+        while (dst == src) {
+          dst = static_cast<int>(rng.uniform_int(0, hosts - 1));
+        }
+        flows.add(src, dst, rng.uniform(800.0, 930.0),
+                  FlowClass::LatencyTolerant);
+      }
+      for (int i = 0; i < 8; ++i) {
+        const int src = static_cast<int>(rng.uniform_int(0, hosts - 1));
+        int dst = src;
+        while (dst == src) {
+          dst = static_cast<int>(rng.uniform_int(0, hosts - 1));
+        }
+        flows.add(src, dst, rng.uniform(1.0, 30.0),
+                  FlowClass::LatencySensitive);
+      }
+      break;
+    }
+  }
+  return flows;
+}
+
+class HierarchyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyProperty, InvariantsHoldOnFuzzedScenarios) {
+  const int k_ary = GetParam();
+  const FatTree ft(k_ary);
+  const HierarchicalConsolidator hier(nullptr, {4});
+  const int rounds = k_ary >= 16 ? 4 : 12;
+  Rng rng(static_cast<std::uint64_t>(1000 + k_ary));
+  for (int round = 0; round < rounds; ++round) {
+    for (int shape = 0; shape < 4; ++shape) {
+      const FlowSet flows = fuzz_scenario(ft, shape, rng);
+      const ConsolidationConfig config =
+          base_config(round % 2 == 0 ? 1.0 : 2.0);
+      const ConsolidationResult result = hier.consolidate(ft, flows, config);
+      check_attribution_exact(config, result, "fuzz");
+      if (!result.feasible) continue;  // saturating bursts may overflow
+      check_placement_valid(ft, flows, config, result, "fuzz");
+      // No powered-off element carries traffic, and nothing outside the
+      // union of assigned paths plus hosts is powered: every on switch
+      // must appear on some path.
+      std::vector<bool> used(ft.graph().num_nodes(), false);
+      for (const Path& path : result.flow_paths) {
+        for (NodeId n : path) used[static_cast<std::size_t>(n)] = true;
+      }
+      for (const Node& n : ft.graph().nodes()) {
+        if (!is_switch_type(n.type)) continue;
+        const auto i = static_cast<std::size_t>(n.id);
+        if (result.switch_on[i]) {
+          EXPECT_TRUE(used[i]) << "switch " << n.name
+                               << " is on but carries no flow";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, HierarchyProperty,
+                         ::testing::Values(4, 6, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Fallbacks and integration.
+
+TEST(Hierarchy, NonFatTreeDelegatesToInner) {
+  const LeafSpine topo(4, 4, 4);
+  const GreedyConsolidator flat;
+  const HierarchicalConsolidator hier(&flat);
+  FlowSet flows;
+  flows.add(0, 9, 120.0, FlowClass::LatencySensitive);
+  flows.add(3, 12, 300.0, FlowClass::LatencyTolerant);
+  const ConsolidationConfig config = base_config(2.0);
+  expect_identical(hier.consolidate(topo, flows, config),
+                   flat.consolidate(topo, flows, config),
+                   "leaf-spine delegation");
+}
+
+TEST(Hierarchy, EmptyFlowSetTurnsFabricOff) {
+  const FatTree ft(8);
+  const HierarchicalConsolidator hier;
+  const ConsolidationResult result =
+      hier.consolidate(ft, FlowSet{}, base_config(1.0));
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.active_switches, 0);
+  EXPECT_EQ(result.network_power, 0.0);
+}
+
+TEST(Hierarchy, JointOptimizerMeetsSlaWithHierarchicalPlacement) {
+  // End-to-end: the joint optimizer with the hierarchical consolidator
+  // selected must produce a latency-feasible plan whose totals obey the
+  // attribution sum contract.
+  const Scenario scn = ScenarioBuilder().seed(1).fat_tree(4).build();
+  Rng rng(11);
+  const FlowSet background =
+      make_background_flows(scn.flow_gen(), 6, 0.2, 0.1, rng);
+  JointOptimizerConfig config;
+  config.slack.samples_per_pair = 80;
+  const HierarchicalConsolidator hier;
+  const JointOptimizer optimizer = scn.optimizer(config, &hier);
+  PlanRequest request;
+  request.background = &background;
+  request.utilization = 0.2;
+  const JointPlan plan = optimizer.optimize(request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.slack.total_p95, config.latency_constraint);
+  EXPECT_EQ(plan.network_power, plan.placement.network_power);
+  EXPECT_EQ(plan.total_power, plan.network_power + plan.server_power_w);
+  ConsolidationConfig placed = optimizer.config().consolidation;
+  placed.scale_factor_k = plan.k;
+  check_placement_valid(*scn.fat_tree(), plan.flows, placed, plan.placement,
+                        "joint");
+}
+
+TEST(Hierarchy, EpochControllerRunsWithSelectableConsolidator) {
+  const Scenario scn = ScenarioBuilder().seed(5).fat_tree(4).build();
+  const HierarchicalConsolidator hier;
+  EpochControllerConfig config;
+  config.joint.slack.samples_per_pair = 60;
+  config.samples_per_epoch = 40;
+  config.consolidator = &hier;
+  EpochController controller = scn.epoch_controller(config);
+  Rng flows_rng(5);
+  const FlowSet background =
+      make_background_flows(scn.flow_gen(), 6, 0.25, 0.1, flows_rng);
+  Rng rng(17);
+  const EpochReport report = controller.run_epoch(background, 0.3, rng);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.network_power, 0.0);
+}
+
+}  // namespace
+}  // namespace eprons

@@ -3,6 +3,10 @@
 // whole stack including the epoch controller.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+
+#include "consolidate/hierarchical_consolidator.h"
 #include "consolidate/milp_consolidator.h"
 #include "core/epoch_controller.h"
 #include "core/trace_replay.h"
@@ -145,6 +149,56 @@ TEST(Integration, EpochControllerDeterministic) {
     return ks;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, ScaleSmokeK16HierarchicalEpochPlan) {
+  // k=16 (1024 hosts, 320 switches) end-to-end: the joint optimizer with
+  // the hierarchical consolidator plans a full epoch within the
+  // integration budget, and the plan fingerprint is byte-identical for
+  // 1/4/8 worker threads. The fingerprint is printed so CI can gate on
+  // cross-thread (and cross-run) drift.
+  const FatTree topo(16);
+  const ServiceModel model = shared_model();
+  const ServerPowerModel power;
+  FlowGenConfig gen;
+  gen.num_hosts = topo.num_hosts();
+  gen.hosts_per_edge = topo.hosts_per_access_switch();
+  gen.exclude_host = 0;
+  Rng rng(13);
+  const FlowSet background = make_background_flows(gen, 48, 0.2, 0.1, rng);
+
+  std::uint64_t serial_fp = 0;
+  for (const int threads : {1, 4, 8}) {
+    JointOptimizerConfig config;
+    config.slack.samples_per_pair = 60;
+    config.k_max = 2.0;  // narrow sweep: the smoke gates scale, not K
+    config.runtime.threads = threads;
+    // Every query fans out to all 1023 leaves; the default 10/20 Mbps
+    // per-leaf demands would put 20+ Gbps of reply fan-in on the
+    // aggregator's 1 Gbps host link. Hold the *aggregate* query load at a
+    // feasible level by shrinking the per-leaf demand with the fan-out,
+    // and scale the latency budget with it: the round-trip p95 is taken
+    // over 1023 leaf legs (vs 15 at k=4), so the modeled tail is
+    // structurally larger at this scale.
+    config.query_request_demand = 0.2;
+    config.query_reply_demand = 0.4;
+    config.latency_constraint = ms(120.0);
+    const HierarchicalConsolidator hier(nullptr, {threads});
+    const JointOptimizer optimizer(&topo, &model, &power, config, &hier);
+    PlanRequest request;
+    request.background = &background;
+    request.utilization = 0.2;
+    const JointPlan plan = optimizer.optimize(request);
+    ASSERT_TRUE(plan.feasible) << "threads " << threads;
+    const std::uint64_t fp = placement_fingerprint(plan.placement);
+    if (threads == 1) {
+      serial_fp = fp;
+      std::printf("k16-plan-fingerprint: %016llx\n",
+                  static_cast<unsigned long long>(fp));
+    } else {
+      EXPECT_EQ(fp, serial_fp) << "threads " << threads;
+    }
+  }
 }
 
 TEST(Integration, PolicyOrderingHoldsAtHighLoad) {

@@ -2,11 +2,14 @@
 // enumeration, and the Fig. 9 aggregation policies.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <utility>
 
 #include "topo/aggregation.h"
 #include "topo/fattree.h"
 #include "topo/graph.h"
+#include "topo/path_catalog.h"
 
 namespace eprons {
 namespace {
@@ -65,6 +68,85 @@ TEST(FatTree, K8Dimensions) {
   EXPECT_EQ(ft.num_hosts(), 128);
   EXPECT_EQ(ft.num_core(), 16);
   EXPECT_EQ(ft.num_switches(), 16 + 32 + 32);
+}
+
+TEST(FatTree, K16Dimensions) {
+  // The hierarchical consolidator's target scale: no dense hosts^2
+  // structure anywhere in the topology layer may be hit building it.
+  const FatTree ft(16);
+  EXPECT_EQ(ft.num_hosts(), 1024);
+  EXPECT_EQ(ft.num_core(), 64);
+  EXPECT_EQ(ft.num_agg(), 128);
+  EXPECT_EQ(ft.num_edge(), 128);
+  EXPECT_EQ(ft.num_pods(), 16);
+  EXPECT_EQ(ft.hosts_per_pod(), 64);
+  // 1024 host-edge + 1024 edge-agg + 1024 agg-core links.
+  EXPECT_EQ(ft.graph().num_links(), 3072u);
+}
+
+TEST(FatTree, PodOfHostMatchesNodeMetadata) {
+  // Regression: pod_of_host used a wrong divisor (k/4 instead of
+  // (k/2)^2), mis-bucketing every host for every k. The node's own pod
+  // annotation is ground truth.
+  for (const int k : {4, 6, 8, 16}) {
+    const FatTree ft(k);
+    EXPECT_EQ(ft.hosts_per_pod() * ft.num_pods(), ft.num_hosts()) << k;
+    for (int h = 0; h < ft.num_hosts(); ++h) {
+      EXPECT_EQ(ft.pod_of_host(h), ft.graph().node(ft.host(h)).pod)
+          << "k=" << k << " host " << h;
+    }
+  }
+}
+
+TEST(FatTree, PodSwitchMaskCoversExactlyThePodsEdgeAndAgg) {
+  for (const int k : {4, 8}) {
+    const FatTree ft(k);
+    const Graph& g = ft.graph();
+    for (int pod = 0; pod < ft.num_pods(); ++pod) {
+      const std::vector<bool> mask = ft.pod_switch_mask(pod);
+      ASSERT_EQ(mask.size(), static_cast<std::size_t>(g.num_nodes()));
+      for (const Node& n : g.nodes()) {
+        const bool expected =
+            (n.type == NodeType::EdgeSwitch || n.type == NodeType::AggSwitch) &&
+            n.pod == pod;
+        EXPECT_EQ(mask[static_cast<std::size_t>(n.id)], expected)
+            << "k=" << k << " pod " << pod << " node " << n.name;
+      }
+    }
+  }
+}
+
+TEST(PathCatalog, SparseStorageMatchesAllPathsAtK16) {
+  // The catalog's sparse shards must return exactly the all_paths list —
+  // same order, same annotations — at the scale the dense layout could
+  // not reach (1024 hosts would be 1M dense slots).
+  const FatTree ft(16);
+  const Graph& g = ft.graph();
+  const PathCatalog catalog(&ft);
+  // Same edge, same pod, cross pod; plus the last pair in the machine.
+  const std::pair<int, int> pairs[] = {
+      {0, 1}, {0, 9}, {0, 1023}, {517, 201}, {1023, 0}};
+  for (const auto& [src, dst] : pairs) {
+    const auto& cached = catalog.pair(src, dst);
+    const auto reference = ft.all_paths(src, dst);
+    ASSERT_EQ(cached.size(), reference.size()) << src << "->" << dst;
+    for (std::size_t p = 0; p < cached.size(); ++p) {
+      EXPECT_EQ(cached[p].nodes, reference[p]) << src << "->" << dst;
+      ASSERT_EQ(cached[p].arc_slots.size(), reference[p].size() - 1);
+      for (std::size_t h = 0; h + 1 < reference[p].size(); ++h) {
+        const LinkId link = g.find_link(reference[p][h], reference[p][h + 1]);
+        const bool forward = g.link(link).a == reference[p][h];
+        EXPECT_EQ(cached[p].links[h], link);
+        EXPECT_EQ(cached[p].arc_slots[h],
+                  static_cast<std::uint32_t>(link) * 2 + (forward ? 0u : 1u));
+        EXPECT_EQ(cached[p].host_adjacent[h] != 0,
+                  !g.is_switch(reference[p][h]) ||
+                      !g.is_switch(reference[p][h + 1]));
+      }
+    }
+    // Second lookup hits the memoized entry and must be the same object.
+    EXPECT_EQ(&catalog.pair(src, dst), &cached);
+  }
 }
 
 TEST(FatTree, RejectsOddK) {

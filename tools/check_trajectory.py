@@ -86,6 +86,68 @@ def gate_perf(perf_path, trajectory, max_regression):
     return ok
 
 
+def gate_hierarchy(path, max_power_ratio, max_flowpath_ratio):
+    """Gates the stdout of bench_ablation_hierarchy.
+
+    Three machine-independent contracts:
+      * every `hierarchical t=N` row prints the same placement
+        fingerprint (thread-count determinism, within one run);
+      * the k=4/k=8 power-gap tables stay under `max_power_ratio`
+        (the decomposition's bounded optimality loss);
+      * the k=16 cold sweep costs at most `max_flowpath_ratio` times the
+        k=4 sweep per flow x candidate-path (the scale contract; raw
+        wall-clock across scales only measures that the instance grew).
+    """
+    text = Path(path).read_text()
+    ok = True
+
+    fps = re.findall(r"hierarchical t=\d+\s+[0-9.]+\s+\d+\s+([0-9a-f]{16})",
+                     text)
+    if len(fps) < 2:
+        print("[trajectory] FAIL: fewer than two 'hierarchical t=N' rows "
+              "in hierarchy bench output", file=sys.stderr)
+        ok = False
+    elif len(set(fps)) != 1:
+        print(f"[trajectory] FAIL: hierarchical fingerprints differ across "
+              f"thread counts: {sorted(set(fps))}", file=sys.stderr)
+        ok = False
+    else:
+        print(f"[trajectory] hierarchical fingerprint {fps[0]} identical "
+              f"across {len(fps)} thread counts")
+
+    gap_rows = re.findall(
+        r"^(4|8)\s+\d+\s+(\d+)\s+[0-9.]+\s+[0-9.]+\s+[0-9.]+\s+([0-9.]+)\s*$",
+        text, re.M)
+    if not gap_rows:
+        print("[trajectory] FAIL: no power-gap rows in hierarchy bench "
+              "output", file=sys.stderr)
+        ok = False
+    for k_ary, compared, max_ratio in gap_rows:
+        ratio = float(max_ratio)
+        print(f"[trajectory] k={k_ary} power gap: {compared} instances, "
+              f"max hier/flat ratio {ratio:.3f} (gate {max_power_ratio})")
+        if int(compared) == 0 or ratio > max_power_ratio:
+            print(f"[trajectory] FAIL: k={k_ary} power-gap gate violated",
+                  file=sys.stderr)
+            ok = False
+
+    m = re.search(r"^k16_vs_k4_per_flowpath_ratio: ([0-9.]+)$", text, re.M)
+    if not m:
+        print("[trajectory] FAIL: no k16_vs_k4_per_flowpath_ratio line in "
+              "hierarchy bench output", file=sys.stderr)
+        ok = False
+    else:
+        ratio = float(m.group(1))
+        print(f"[trajectory] k=16 per-flowpath sweep cost: {ratio:.3f}x the "
+              f"k=4 sweep (gate {max_flowpath_ratio}x)")
+        if ratio > max_flowpath_ratio:
+            print(f"[trajectory] FAIL: k=16 per-flowpath cost {ratio:.3f}x "
+                  f"exceeds {max_flowpath_ratio}x of the k=4 sweep",
+                  file=sys.stderr)
+            ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="gate CI on the committed bench trajectory")
@@ -99,13 +161,23 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.15,
                         help="allowed fractional speedup regression "
                              "(default 0.15)")
+    parser.add_argument("--hierarchy", default=None,
+                        help="bench_ablation_hierarchy stdout to gate the "
+                             "cross-thread fingerprint, power gap, and "
+                             "k=16 per-flowpath cost")
+    parser.add_argument("--max-power-ratio", type=float, default=1.6,
+                        help="allowed hier/flat power ratio on k=4/k=8 "
+                             "(default 1.6)")
+    parser.add_argument("--max-flowpath-ratio", type=float, default=2.0,
+                        help="allowed k=16-vs-k=4 per-flowpath sweep cost "
+                             "ratio (default 2.0)")
     args = parser.parse_args()
 
     with open(args.trajectory) as fh:
         trajectory = json.load(fh)
-    if not args.perf and len(args.jsonl) < 2:
-        raise SystemExit("[trajectory] nothing to gate: pass --perf and/or "
-                         "two or more --jsonl files")
+    if not args.perf and not args.hierarchy and len(args.jsonl) < 2:
+        raise SystemExit("[trajectory] nothing to gate: pass --perf, "
+                         "--hierarchy, and/or two or more --jsonl files")
 
     ok = True
     if len(args.jsonl) >= 2:
@@ -115,6 +187,9 @@ def main():
                          "to compare")
     if args.perf:
         ok = gate_perf(args.perf, trajectory, args.max_regression) and ok
+    if args.hierarchy:
+        ok = gate_hierarchy(args.hierarchy, args.max_power_ratio,
+                            args.max_flowpath_ratio) and ok
 
     if ok:
         print("[trajectory] all gates passed")

@@ -144,6 +144,12 @@ class EpochController {
   const TransitionController& transitions() const { return transitions_; }
   int epochs_run() const { return epoch_; }
 
+  /// The plan chosen by the most recent run_epoch/on_failure (valid only
+  /// when has_plan()). The serving harness routes query flows and feeds its
+  /// admission policies from this snapshot between epochs.
+  const JointPlan& last_plan() const { return last_plan_; }
+  bool has_plan() const { return have_plan_; }
+
  private:
   /// Wanted mask fallback: when the optimizer's plan cannot connect the
   /// hosts (or produced none), power every surviving switch.

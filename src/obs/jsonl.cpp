@@ -48,7 +48,38 @@ std::string to_jsonl(const FaultRecord& r) {
   return out;
 }
 
+std::string to_jsonl(const ServingWindowRecord& r) {
+  std::string out = "{";
+  out += "\"source\": \"" + json_escape(r.source) + "\"";
+  out += ", \"window\": " + std::to_string(r.window);
+  out += ", \"epoch\": " + std::to_string(r.epoch);
+  out += ", \"window_start_us\": " + json_number(r.window_start_us);
+  out += ", \"window_end_us\": " + json_number(r.window_end_us);
+  out += ", \"offered_qps\": " + json_number(r.offered_qps);
+  out += ", \"arrivals\": " + std::to_string(r.arrivals);
+  out += ", \"admitted\": " + std::to_string(r.admitted);
+  out += ", \"queued\": " + std::to_string(r.queued);
+  out += ", \"shed\": " + std::to_string(r.shed);
+  out += ", \"dropped\": " + std::to_string(r.dropped);
+  out += ", \"late_shed\": " + std::to_string(r.late_shed);
+  out += ", \"completed\": " + std::to_string(r.completed);
+  out += ", \"subqueries\": " + std::to_string(r.subqueries);
+  out += ", \"sla_misses\": " + std::to_string(r.sla_misses);
+  out += ", \"latency_p50_us\": " + json_number(r.latency_p50_us);
+  out += ", \"latency_p95_us\": " + json_number(r.latency_p95_us);
+  out += ", \"latency_p99_us\": " + json_number(r.latency_p99_us);
+  out += ", \"energy_per_admitted_j\": " + json_number(r.energy_per_admitted_j);
+  out += ", \"transition_penalized\": " +
+         std::to_string(r.transition_penalized);
+  out += "}\n";
+  return out;
+}
+
 void JsonlWriter::write(const EpochRecord& record) {
+  write_line(to_jsonl(record));
+}
+
+void JsonlWriter::write(const ServingWindowRecord& record) {
   write_line(to_jsonl(record));
 }
 

@@ -69,10 +69,57 @@ struct FaultRecord {
   double estimated_outage_violations = 0.0;
 };
 
+/// One serving report window from the open-loop harness (serve/), on the
+/// same JSONL stream as EpochRecords ("source" disambiguates). Counts are
+/// per window, not cumulative; the conservation invariant
+/// arrivals == admitted + shed + dropped holds exactly per record.
+struct ServingWindowRecord {
+  const char* source = "serving_window";
+  int window = 0;
+  /// Planner epoch in effect during the window.
+  int epoch = 0;
+  double window_start_us = 0.0;
+  double window_end_us = 0.0;
+  /// Mean offered rate over the window (from the arrival generator's exact
+  /// integrated rate), queries/s.
+  double offered_qps = 0.0;
+  long long arrivals = 0;
+  long long admitted = 0;
+  /// Admitted but parked in the dispatch queue at least once.
+  long long queued = 0;
+  /// Shed at admission (policy said no).
+  long long shed = 0;
+  /// Dropped at admission: the dispatch queue was full.
+  long long dropped = 0;
+  /// Admitted earlier but dropped stale from the dispatch queue by the
+  /// ShedPolicy before issue (subset of a previous window's `admitted`, so
+  /// deliberately outside the arrivals == admitted + shed + dropped
+  /// conservation check).
+  long long late_shed = 0;
+  long long completed = 0;
+  /// Sub-queries whose replies landed this window (completed queries
+  /// contribute num_isns each; the counter advances as replies arrive).
+  long long subqueries = 0;
+  /// Sub-queries exceeding the latency constraint — the paper's SLA object
+  /// (matches ClusterMetrics::subquery_miss_rate), counted against
+  /// `subqueries`, not `completed`.
+  long long sla_misses = 0;
+  /// End-to-end latency of completions in the window, us (0 when none).
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  /// Total modeled energy spent in the window over admitted queries, J
+  /// (0 when nothing was admitted).
+  double energy_per_admitted_j = 0.0;
+  /// In-flight queries that paid a plan-transition penalty this window.
+  long long transition_penalized = 0;
+};
+
 /// Serializes `record` as a single JSON object line (no trailing spaces,
 /// '\n'-terminated). Field order is fixed, output is deterministic.
 std::string to_jsonl(const EpochRecord& record);
 std::string to_jsonl(const FaultRecord& record);
+std::string to_jsonl(const ServingWindowRecord& record);
 
 /// Streams records to an ostream, one line each. Thread-safe at the line
 /// level; the stream is borrowed and must outlive the writer.
@@ -82,6 +129,7 @@ class JsonlWriter {
 
   void write(const EpochRecord& record);
   void write(const FaultRecord& record);
+  void write(const ServingWindowRecord& record);
   void write(const AttributionRecord& record);
   void write(const PlanExplainRecord& record);
   /// Writes one pre-serialized JSONL line (must be '\n'-terminated) under

@@ -1,0 +1,482 @@
+#include "serve/serving_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dvfs/policies.h"
+#include "obs/telemetry.h"
+#include "serve/policies.h"
+#include "util/log.h"
+
+namespace eprons {
+namespace {
+
+constexpr double kUsPerSecond = 1.0e6;
+constexpr double kUsPerMinute = 60.0e6;
+constexpr double kUjPerJoule = 1.0e6;
+
+}  // namespace
+
+ServingHarness::ServingHarness(const Topology* topo,
+                               const ServiceModel* service_model,
+                               const ServerPowerModel* power_model,
+                               ServingHarnessConfig config)
+    : topo_(topo),
+      service_model_(service_model),
+      power_model_(power_model),
+      config_(std::move(config)),
+      ctrl_rng_(0),
+      bg_rng_(0),
+      sim_rng_(0),
+      offered_load_(&topo->graph()) {
+  if (!topo_ || !service_model_ || !power_model_) {
+    throw std::invalid_argument("serving harness inputs incomplete");
+  }
+  const int hosts = topo_->num_hosts();
+  if (config_.aggregator_host < 0 || config_.aggregator_host >= hosts) {
+    throw std::invalid_argument("aggregator host out of range");
+  }
+  if (config_.max_inflight <= 0 || config_.queue_limit < 0) {
+    throw std::invalid_argument("serving bounds must be positive");
+  }
+
+  // Fixed split order (docs/DETERMINISM.md): controller observations,
+  // background draws, DES sampling. The arrival stream has its own seed
+  // inside ArrivalStreamConfig.
+  Rng base(config_.seed);
+  ctrl_rng_ = base.split();
+  bg_rng_ = base.split();
+  sim_rng_ = base.split();
+
+  if (config_.sink != nullptr) config_.epoch.epoch_log = config_.sink;
+  arrivals_ = std::make_unique<ArrivalGenerator>(config_.arrivals);
+  controller_ = std::make_unique<EpochController>(topo_, service_model_,
+                                                  power_model_, config_.epoch);
+  admission_ = make_admission_policy(config_.admission, config_.policy);
+  shed_ = make_shed_policy(config_.shed, config_.policy);
+  routing_ = make_routing_hint(config_.routing, config_.policy);
+
+  const SimTime mean_service =
+      service_model_->mean_service_time(service_model_->config().f_max);
+  sustainable_rate_qps_ =
+      power_model_->num_cores() / mean_service * kUsPerSecond;
+
+  servers_.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) {
+    auto handler = [this, h](const ServerCompletion& completion) {
+      on_subquery_complete(h, completion);
+    };
+    auto factory = [this](const ServiceModel* model) {
+      return make_policy(config_.server_policy, model, config_.target_vp);
+    };
+    servers_.push_back(std::make_unique<SimServer>(
+        &events_, service_model_, power_model_, factory, handler));
+  }
+  request_path_.resize(static_cast<std::size_t>(hosts));
+  reply_path_.resize(static_cast<std::size_t>(hosts));
+}
+
+ServingHarness::~ServingHarness() = default;
+
+AdmissionContext ServingHarness::admission_context(SimTime now) const {
+  AdmissionContext ctx;
+  ctx.now = now;
+  ctx.offered_rate_qps = arrivals_->rate_at(now) * kUsPerSecond;
+  ctx.inflight = static_cast<int>(inflight_.size());
+  ctx.queued = static_cast<int>(dispatch_queue_.size());
+  ctx.queue_limit = config_.queue_limit;
+  ctx.sustainable_rate_qps = sustainable_rate_qps_;
+  ctx.plan = &snapshot_;
+  return ctx;
+}
+
+void ServingHarness::adopt_plan_paths() {
+  const JointPlan& plan = controller_->last_plan();
+  const auto& paths = plan.placement.flow_paths;
+  bool changed = false;
+  for (int h = 0; h < topo_->num_hosts(); ++h) {
+    if (h == config_.aggregator_host) continue;
+    const auto slot = static_cast<std::size_t>(h);
+    auto planned = [&](FlowId flow) -> const Path* {
+      if (flow < 0 || static_cast<std::size_t>(flow) >= paths.size() ||
+          paths[static_cast<std::size_t>(flow)].size() < 2) {
+        return nullptr;
+      }
+      return &paths[static_cast<std::size_t>(flow)];
+    };
+    const Path* req =
+        slot < plan.request_flow.size() ? planned(plan.request_flow[slot])
+                                        : nullptr;
+    const Path* rep =
+        slot < plan.reply_flow.size() ? planned(plan.reply_flow[slot])
+                                      : nullptr;
+    if (req != nullptr && *req != request_path_[slot]) {
+      if (!request_path_[slot].empty()) changed = true;
+      request_path_[slot] = *req;
+    }
+    if (rep != nullptr && *rep != reply_path_[slot]) {
+      if (!reply_path_[slot].empty()) changed = true;
+      reply_path_[slot] = *rep;
+    }
+    if (request_path_[slot].size() < 2 || reply_path_[slot].size() < 2) {
+      throw std::runtime_error("serving plan left a query flow unrouted");
+    }
+  }
+
+  if (changed && config_.reconfig_penalty > 0.0) {
+    // Reprogramming forwarding rules under traffic: every query currently
+    // in flight straddles the reconfiguration and pays the penalty once.
+    for (auto& [id, pending] : inflight_) {
+      if (pending.penalized) continue;
+      pending.penalty += config_.reconfig_penalty;
+      pending.penalized = true;
+      ++window_.transition_penalized;
+      ++report_.transition_penalized;
+    }
+  }
+  // New epoch: queries issued from here on may be penalized by the *next*
+  // transition.
+  for (auto& [id, pending] : inflight_) pending.penalized = false;
+}
+
+void ServingHarness::begin_epoch() {
+  const SimTime now = events_.now();
+  accrue_fixed_energy(now);
+  ++epoch_index_;
+
+  // Diurnal operating point at the epoch start.
+  const double day = config_.arrivals.diurnal.minutes * kUsPerMinute;
+  double pos = std::fmod(now + config_.arrivals.diurnal_start, day);
+  if (pos < 0.0) pos += day;
+  const int minute = std::min(config_.arrivals.diurnal.minutes - 1,
+                              static_cast<int>(pos / kUsPerMinute));
+  const double shape = diurnal_shape(config_.arrivals.diurnal, minute);
+  const double bg_level =
+      config_.arrivals.diurnal.background_trough +
+      (config_.arrivals.diurnal.background_peak -
+       config_.arrivals.diurnal.background_trough) *
+          shape;
+  const FlowSet background =
+      make_background_flows(config_.flow_gen, config_.background_flows,
+                            bg_level, config_.background_jitter, bg_rng_);
+
+  // Planner utilization input from the arrival stream's expected rate over
+  // the coming epoch: u = lambda * mean_service / cores (per ISN — every
+  // query lands one subquery on each ISN).
+  const SimTime epoch_len = config_.epoch.transition.epoch_length;
+  const SimTime epoch_end =
+      std::min(now + epoch_len, config_.arrivals.horizon);
+  const double expected =
+      arrivals_->integrated_rate(now, std::max(epoch_end, now + 1.0));
+  const double lambda =
+      epoch_end > now ? expected / (epoch_end - now) : 0.0;  // per us
+  const SimTime mean_service =
+      service_model_->mean_service_time(service_model_->config().f_max);
+  const double utilization =
+      std::clamp(lambda * mean_service / power_model_->num_cores(),
+                 config_.min_utilization, config_.max_utilization);
+
+  const EpochReport report =
+      controller_->run_epoch(background, utilization, ctrl_rng_);
+  if (!controller_->has_plan()) {
+    throw std::runtime_error("epoch controller produced no plan");
+  }
+  const JointPlan& plan = controller_->last_plan();
+
+  adopt_plan_paths();
+
+  // Offered load for the latency model: the plan's placement at the
+  // arrival stream's actual expected message rates.
+  offered_load_ = scenario_offered_load(
+      topo_->graph(), plan.placement, plan.flows, plan.request_flow,
+      plan.reply_flow, query_stream_rate(lambda, config_.request_bytes),
+      query_stream_rate(lambda, config_.reply_bytes));
+  latency_ =
+      std::make_unique<PathLatencyEstimator>(&offered_load_,
+                                             LinkLatencyModel{});
+  network_power_w_ = report.network_power;
+
+  snapshot_.epoch = epoch_index_;
+  snapshot_.have_plan = true;
+  snapshot_.feasible = plan.feasible;
+  snapshot_.chosen_k = plan.k;
+  snapshot_.slack_total_p95 = report.slack_total_p95;
+  snapshot_.slack_total_p99 = report.slack_total_p99;
+  snapshot_.effective_server_budget = plan.effective_server_budget;
+  snapshot_.latency_constraint = config_.epoch.joint.latency_constraint;
+  snapshot_.predicted_total_w = report.predicted_total;
+  admission_->on_epoch(snapshot_);
+  shed_->on_epoch(snapshot_);
+
+  EPRONS_LOG(Info) << "serving epoch " << epoch_index_ << ": lambda "
+                   << lambda * kUsPerSecond << " qps, utilization "
+                   << utilization << ", K " << plan.k
+                   << (plan.feasible ? "" : " (infeasible)");
+}
+
+void ServingHarness::schedule_next_arrival() {
+  const SimTime when = arrivals_->next();
+  if (when >= config_.arrivals.horizon) return;  // kNoTime past horizon
+  events_.schedule(when, [this] {
+    on_arrival();
+    schedule_next_arrival();
+  });
+}
+
+void ServingHarness::on_arrival() {
+  const SimTime now = events_.now();
+  ++window_.arrivals;
+  ++report_.arrivals;
+
+  const AdmissionContext ctx = admission_context(now);
+  if (admission_->decide(ctx) == AdmissionDecision::Shed) {
+    ++window_.shed;
+    ++report_.shed;
+    return;
+  }
+  if (static_cast<int>(inflight_.size()) < config_.max_inflight) {
+    ++window_.admitted;
+    ++report_.admitted;
+    fan_out(now);
+    return;
+  }
+  if (static_cast<int>(dispatch_queue_.size()) >= config_.queue_limit) {
+    ++window_.dropped;
+    ++report_.dropped;
+    return;
+  }
+  ++window_.admitted;
+  ++report_.admitted;
+  ++window_.queued;
+  ++report_.queued;
+  dispatch_queue_.push_back(QueuedArrival{now});
+}
+
+void ServingHarness::fan_out(SimTime arrived) {
+  const SimTime now = events_.now();
+  const RequestId query = next_query_++;
+  const int hosts = topo_->num_hosts();
+  PendingQuery pending;
+  pending.arrived = arrived;
+  pending.issued = now;
+  pending.outstanding = hosts - 1;
+  pending.epoch_issued = epoch_index_;
+  inflight_[query] = pending;
+
+  const SimTime constraint = config_.epoch.joint.latency_constraint;
+  const SimTime server_budget =
+      snapshot_.effective_server_budget > 0.0
+          ? snapshot_.effective_server_budget
+          : config_.epoch.joint.server_budget;
+  const SimTime network_budget = std::max(0.0, constraint - server_budget);
+  const SimTime request_budget = network_budget * 0.5;
+
+  (void)routing_->choose_aggregator(admission_context(now));
+  for (int h = 0; h < hosts; ++h) {
+    if (h == config_.aggregator_host) continue;
+    const SimTime net_req =
+        latency_->sample_latency(request_path_[static_cast<std::size_t>(h)],
+                                 sim_rng_);
+    ServerRequest request;
+    request.meta.id = next_subrequest_++;
+    request.tag = static_cast<std::int64_t>(query);
+    request.net_request_latency = net_req;
+    request.work = std::max(1.0, service_model_->work().sample(sim_rng_));
+
+    events_.schedule_in(net_req, [this, h, request, server_budget,
+                                  request_budget]() mutable {
+      const SimTime arrival = events_.now();
+      request.meta.arrival = arrival;
+      request.meta.deadline_server = arrival + server_budget;
+      const SimTime slack =
+          std::max(0.0, request_budget - request.net_request_latency);
+      request.meta.deadline_with_slack = request.meta.deadline_server + slack;
+      servers_[static_cast<std::size_t>(h)]->submit(request);
+    });
+  }
+}
+
+void ServingHarness::drain_dispatch_queue() {
+  const SimTime now = events_.now();
+  while (!dispatch_queue_.empty() &&
+         static_cast<int>(inflight_.size()) < config_.max_inflight) {
+    const QueuedArrival head = dispatch_queue_.front();
+    ShedContext ctx;
+    ctx.now = now;
+    ctx.enqueue_time = head.enqueued;
+    ctx.waited = now - head.enqueued;
+    ctx.plan = &snapshot_;
+    if (shed_->should_shed(ctx)) {
+      dispatch_queue_.pop_front();
+      ++window_.late_shed;
+      ++report_.late_shed;
+      continue;
+    }
+    dispatch_queue_.pop_front();
+    fan_out(head.enqueued);
+  }
+}
+
+SimTime ServingHarness::reply_transmission_time() const {
+  const NodeId agg = topo_->host(config_.aggregator_host);
+  const LinkId downlink = topo_->graph().links_of(agg).front();
+  const Bandwidth capacity = topo_->graph().link(downlink).capacity;
+  return config_.reply_bytes * 8.0 / capacity;  // bits / Mbps == us
+}
+
+void ServingHarness::on_subquery_complete(int isn_host,
+                                          const ServerCompletion& completion) {
+  const SimTime now = completion.completed_at;
+  SimTime net_rep = latency_->sample_latency(
+      reply_path_[static_cast<std::size_t>(isn_host)], sim_rng_);
+  if (config_.model_incast) {
+    const SimTime tx = reply_transmission_time();
+    const SimTime start = std::max(now + net_rep, agg_downlink_busy_until_);
+    agg_downlink_busy_until_ = start + tx;
+    net_rep = (start + tx) - now;
+  }
+  const RequestId query = static_cast<RequestId>(completion.request.tag);
+  events_.schedule(now + net_rep, [this, query] { finish_subquery(query); });
+}
+
+void ServingHarness::finish_subquery(RequestId query) {
+  const auto entry = inflight_.find(query);
+  if (entry == inflight_.end()) return;
+  const SimTime now = events_.now();
+
+  // The SLA object is the per-sub-request tail (the paper's violation
+  // probability), measured from fan-out to reply arrival, matching
+  // ClusterMetrics::subquery_miss_rate in the closed-loop DES. The
+  // query-level max-over-fan-out only feeds the latency percentiles.
+  ++window_.subqueries;
+  ++report_.subqueries_completed;
+  if (now - entry->second.issued > config_.epoch.joint.latency_constraint) {
+    ++window_.sla_misses;
+    ++report_.sla_misses;
+  }
+
+  if (--entry->second.outstanding > 0) return;
+
+  const SimTime e2e = (now - entry->second.arrived) + entry->second.penalty;
+  inflight_.erase(entry);
+
+  ++window_.completed;
+  ++report_.completed;
+  window_latency_.add(e2e);
+  total_latency_.add(e2e);
+  drain_dispatch_queue();
+}
+
+void ServingHarness::accrue_fixed_energy(SimTime now) {
+  const double hosts = static_cast<double>(topo_->num_hosts());
+  const double static_w = power_model_->config().static_power;
+  fixed_energy_uj_ +=
+      (static_w * hosts + network_power_w_) * (now - energy_mark_);
+  energy_mark_ = now;
+}
+
+void ServingHarness::emit_window(SimTime window_end) {
+  accrue_fixed_energy(window_end);
+  double cpu_uj = 0.0;
+  for (auto& server : servers_) {
+    server->sync_energy(window_end);
+    cpu_uj += server->total_cpu_energy();
+  }
+  const double window_cpu_uj = cpu_uj - cpu_energy_mark_uj_;
+  cpu_energy_mark_uj_ = cpu_uj;
+  const double window_energy_j =
+      (window_cpu_uj + fixed_energy_uj_) / kUjPerJoule;
+  fixed_energy_uj_ = 0.0;
+  report_.total_energy_j += window_energy_j;
+
+  window_.window = window_index_;
+  window_.epoch = epoch_index_;
+  window_.window_start_us = window_start_;
+  window_.window_end_us = window_end;
+  const SimTime span = window_end - window_start_;
+  window_.offered_qps =
+      span > 0.0
+          ? arrivals_->integrated_rate(window_start_, window_end) / span *
+                kUsPerSecond
+          : 0.0;
+  window_.latency_p50_us = window_latency_.quantile(0.50);
+  window_.latency_p95_us = window_latency_.quantile(0.95);
+  window_.latency_p99_us = window_latency_.quantile(0.99);
+  window_.energy_per_admitted_j =
+      window_.admitted > 0
+          ? window_energy_j / static_cast<double>(window_.admitted)
+          : 0.0;
+
+  obs::JsonlWriter* sink =
+      config_.sink != nullptr ? config_.sink : obs::epoch_log();
+  if (sink != nullptr) sink->write(window_);
+  report_.windows.push_back(window_);
+
+  // Reset per-window state.
+  window_ = obs::ServingWindowRecord{};
+  window_latency_.clear();
+  window_start_ = window_end;
+  ++window_index_;
+}
+
+ServingReport ServingHarness::run() {
+  const obs::ScopedSpan span(obs::tracer(), "serving_run", "serve",
+                             "horizon_s",
+                             config_.arrivals.horizon / kUsPerSecond);
+  const SimTime horizon = config_.arrivals.horizon;
+  const SimTime epoch_len = config_.epoch.transition.epoch_length;
+  const SimTime window_len = config_.report_window;
+  if (epoch_len <= 0.0 || window_len <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument("serving horizon/epoch/window must be > 0");
+  }
+
+  begin_epoch();  // epoch 0 plans before the first arrival
+  schedule_next_arrival();
+
+  SimTime t = 0.0;
+  int next_epoch = 1;
+  int next_window = 1;
+  while (t < horizon) {
+    const SimTime epoch_at = next_epoch * epoch_len;
+    const SimTime window_at = next_window * window_len;
+    const SimTime target = std::min({epoch_at, window_at, horizon});
+    events_.run_until(target);
+    t = target;
+    if (t == window_at || t == horizon) {
+      emit_window(t);
+      next_window = static_cast<int>(t / window_len) + 1;
+    }
+    if (t == epoch_at && t < horizon) {
+      begin_epoch();
+      ++next_epoch;
+    }
+  }
+
+  report_.epochs = controller_->epochs_run();
+  report_.latency = summarize(total_latency_);
+  report_.energy_per_admitted_j =
+      report_.admitted > 0
+          ? report_.total_energy_j / static_cast<double>(report_.admitted)
+          : 0.0;
+
+  static obs::Counter& serve_runs = obs::metrics().counter("serve.runs");
+  static obs::Counter& serve_arrivals =
+      obs::metrics().counter("serve.arrivals");
+  static obs::Counter& serve_admitted =
+      obs::metrics().counter("serve.admitted");
+  static obs::Counter& serve_shed = obs::metrics().counter("serve.shed");
+  static obs::Counter& serve_dropped =
+      obs::metrics().counter("serve.dropped");
+  static obs::Counter& serve_completed =
+      obs::metrics().counter("serve.completed");
+  serve_runs.add();
+  serve_arrivals.add(static_cast<std::uint64_t>(report_.arrivals));
+  serve_admitted.add(static_cast<std::uint64_t>(report_.admitted));
+  serve_shed.add(static_cast<std::uint64_t>(report_.shed));
+  serve_dropped.add(static_cast<std::uint64_t>(report_.dropped));
+  serve_completed.add(static_cast<std::uint64_t>(report_.completed));
+  return report_;
+}
+
+}  // namespace eprons

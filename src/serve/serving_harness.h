@@ -1,0 +1,219 @@
+// Open-loop serving harness: long-running DES serving driven by an
+// ArrivalGenerator, re-planned by the EpochController on epoch boundaries.
+//
+// The closed bench scenarios (sim/search_cluster) derive their arrival
+// rate from a utilization target — the load can never outrun the servers.
+// This harness inverts the coupling for the ROADMAP's serving-mode goal:
+// arrivals come from an external open-loop stream (diurnal x burst x
+// flash-crowd, serve/arrivals.h) and are never gated on completions, so
+// overload is a real state the policy layer (serve/policy.h) must manage.
+//
+// Per query: AdmissionPolicy -> fan out to every ISN (or park in a bounded
+// dispatch queue when max_inflight is reached; ShedPolicy may drop stale
+// entries at dispatch time) -> per-subquery network latency from the
+// current plan's paths -> SimServer DVFS service -> reply + incast
+// serialization at the aggregator -> query completes on the last reply.
+//
+// Per epoch (transition.epoch_length): the harness derives the planner's
+// utilization input from the arrival stream's exact integrated rate, draws
+// the epoch's background flows from the diurnal background level, runs
+// EpochController::run_epoch (which emits its usual EpochRecord /
+// attribution / explain JSONL), adopts the new plan's query-flow paths,
+// and charges `reconfig_penalty` to queries in flight across a path
+// change — the modeled cost of reprogramming forwarding rules under
+// traffic. Per report window it emits a ServingWindowRecord on the same
+// sink (p50/p95/p99, admit/queue/shed/drop counts, energy per admitted
+// query).
+//
+// Determinism: the DES is serial; `--threads` only parallelizes the
+// planner inside run_epoch, which is bit-identical for any worker count —
+// so the whole serving log is byte-identical across thread counts.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/epoch_controller.h"
+#include "net/path_latency.h"
+#include "obs/jsonl.h"
+#include "serve/arrivals.h"
+#include "serve/policy.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/server.h"
+
+namespace eprons {
+
+struct ServingHarnessConfig {
+  ArrivalStreamConfig arrivals;
+  /// Epoch planning loop; `transition.epoch_length` sets the re-plan
+  /// cadence. The harness overrides `epoch.epoch_log` with `sink` when one
+  /// is given.
+  EpochControllerConfig epoch;
+  /// Background-flow generator matched to the topology (Scenario::flow_gen).
+  FlowGenConfig flow_gen;
+  /// Elephant count and demand jitter per epoch; the demand level follows
+  /// the diurnal background curve.
+  int background_flows = 6;
+  double background_jitter = 0.1;
+
+  /// Policy selection (serve/policies.h built-ins, by name).
+  std::string admission = "always";
+  std::string shed = "never";
+  std::string routing = "static";
+  PolicyConfig policy;
+
+  /// DVFS policy on every ISN.
+  std::string server_policy = "eprons";
+  double target_vp = 0.05;
+
+  /// Fan-out concurrency bound: queries simultaneously in flight. Arrivals
+  /// beyond it park in the dispatch queue (capacity `queue_limit`; a full
+  /// queue drops at the door).
+  int max_inflight = 64;
+  int queue_limit = 256;
+
+  /// Serving report window, us (one ServingWindowRecord each).
+  SimTime report_window = sec(60.0);
+
+  /// Latency charged to every query in flight across an epoch boundary
+  /// that changed its fan-out paths (forwarding-rule reprogramming), us.
+  SimTime reconfig_penalty = ms(2.0);
+
+  /// Planner utilization input derived from the arrival stream is clamped
+  /// to [min_utilization, max_utilization].
+  double min_utilization = 0.02;
+  double max_utilization = 0.90;
+
+  /// Query message sizes (offered-load accounting + incast serialization).
+  double request_bytes = 1000.0;
+  double reply_bytes = 2000.0;
+  bool model_incast = true;
+  int aggregator_host = 0;
+
+  /// Harness-internal streams (DES sampling, background draws, controller
+  /// observations) — independent of arrivals.seed.
+  std::uint64_t seed = 1;
+
+  /// JSONL sink for serving windows AND the controller's epoch records.
+  /// Null = the process-wide `obs::epoch_log()` sink (--epoch-log).
+  obs::JsonlWriter* sink = nullptr;
+};
+
+struct ServingReport {
+  long long arrivals = 0;
+  long long admitted = 0;
+  long long queued = 0;
+  long long shed = 0;
+  long long dropped = 0;
+  long long late_shed = 0;
+  long long completed = 0;
+  long long subqueries_completed = 0;
+  /// Sub-queries over the latency constraint — the paper's SLA object
+  /// (ClusterMetrics::subquery_miss_rate); rate = sla_misses /
+  /// subqueries_completed.
+  long long sla_misses = 0;
+  long long transition_penalized = 0;
+  int epochs = 0;
+  /// End-to-end latency over all completed queries, us.
+  LatencyStats latency;
+  /// Modeled energy over the whole run (CPU + server static + network), J.
+  double total_energy_j = 0.0;
+  double energy_per_admitted_j = 0.0;
+  std::vector<obs::ServingWindowRecord> windows;
+};
+
+class ServingHarness {
+ public:
+  ServingHarness(const Topology* topo, const ServiceModel* service_model,
+                 const ServerPowerModel* power_model,
+                 ServingHarnessConfig config);
+  ~ServingHarness();
+
+  /// Runs the full horizon; emits one ServingWindowRecord per window on
+  /// the sink and returns the aggregate report.
+  ServingReport run();
+
+  /// Cluster-sustainable query rate at f_max, queries/s: each query puts
+  /// one subquery on every ISN, so the binding resource is one ISN's cores.
+  double sustainable_rate_qps() const { return sustainable_rate_qps_; }
+
+ private:
+  struct PendingQuery {
+    SimTime arrived = 0.0;   // admission time (includes queue wait in e2e)
+    SimTime issued = 0.0;    // fan-out time (subquery SLA is measured here)
+    int outstanding = 0;
+    int epoch_issued = 0;
+    SimTime penalty = 0.0;   // accrued plan-transition cost
+    bool penalized = false;
+  };
+  struct QueuedArrival {
+    SimTime enqueued = 0.0;
+  };
+
+  void begin_epoch();
+  void adopt_plan_paths();
+  void schedule_next_arrival();
+  void on_arrival();
+  void fan_out(SimTime arrived);
+  void drain_dispatch_queue();
+  void on_subquery_complete(int isn_host, const ServerCompletion& completion);
+  void finish_subquery(RequestId query);
+  void emit_window(SimTime window_end);
+  /// Accrues (static + network) energy at the current power level up to
+  /// `now` — call before the network power changes and before windows.
+  void accrue_fixed_energy(SimTime now);
+  SimTime reply_transmission_time() const;
+  AdmissionContext admission_context(SimTime now) const;
+
+  const Topology* topo_;
+  const ServiceModel* service_model_;
+  const ServerPowerModel* power_model_;
+  ServingHarnessConfig config_;
+
+  EventQueue events_;
+  std::vector<std::unique_ptr<SimServer>> servers_;  // by host id
+  std::unique_ptr<ArrivalGenerator> arrivals_;
+  std::unique_ptr<EpochController> controller_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+  std::unique_ptr<ShedPolicy> shed_;
+  std::unique_ptr<RoutingHint> routing_;
+
+  Rng ctrl_rng_;  // epoch-controller observation noise
+  Rng bg_rng_;    // background-flow draws
+  Rng sim_rng_;   // DES latency/work sampling
+
+  // Plan-derived state, refreshed each epoch.
+  PolicySnapshot snapshot_;
+  std::vector<Path> request_path_;  // by host id (aggregator slot empty)
+  std::vector<Path> reply_path_;
+  LinkUtilization offered_load_;
+  std::unique_ptr<PathLatencyEstimator> latency_;
+  Power network_power_w_ = 0.0;
+  int epoch_index_ = -1;
+
+  double sustainable_rate_qps_ = 0.0;
+
+  // Serving state.
+  RequestId next_query_ = 0;
+  RequestId next_subrequest_ = 0;
+  std::unordered_map<RequestId, PendingQuery> inflight_;
+  std::deque<QueuedArrival> dispatch_queue_;
+  SimTime agg_downlink_busy_until_ = 0.0;
+
+  // Window + total accounting.
+  obs::ServingWindowRecord window_;
+  SimTime window_start_ = 0.0;
+  int window_index_ = 0;
+  PercentileEstimator window_latency_;
+  PercentileEstimator total_latency_;
+  double fixed_energy_uj_ = 0.0;   // static + network, since window start
+  double cpu_energy_mark_uj_ = 0.0;
+  SimTime energy_mark_ = 0.0;
+  ServingReport report_;
+};
+
+}  // namespace eprons

@@ -142,6 +142,14 @@ void SearchCluster::schedule_next_arrival() {
 }
 
 void SearchCluster::issue_query() {
+  if (config_.max_inflight_queries > 0 &&
+      inflight_.size() >= config_.max_inflight_queries) {
+    // Saturation guard: refuse before touching the RNG or the query
+    // counter, so a bounded run's accepted-query stream is a prefix-stable
+    // subsequence of the unbounded run's.
+    ++queries_overflowed_;
+    return;
+  }
   const SimTime now = events_.now();
   const RequestId query = next_query_++;
   const int hosts = inputs_.topo->num_hosts();
@@ -358,6 +366,7 @@ ClusterMetrics SearchCluster::run() {
       isn_count == 0 ? 0.0 : util_total / isn_count;
   metrics.queries_completed = queries_done_;
   metrics.subqueries_completed = subqueries_done_;
+  metrics.queries_overflowed = queries_overflowed_;
   metrics.flows_rerouted = flows_rerouted_;
   metrics.subqueries_dropped = subqueries_dropped_;
   metrics.outage_sla_misses = outage_misses_;

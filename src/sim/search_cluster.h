@@ -78,6 +78,14 @@ struct SearchClusterConfig {
   /// 0 means 2 x latency_constraint (always an SLA miss).
   SimTime fault_drop_penalty = 0.0;
 
+  /// Open-loop saturation guard: maximum queries simultaneously in flight
+  /// (fanned out, replies pending). The closed bench scenarios are
+  /// self-limiting, but an open-loop arrival stream above the service rate
+  /// would otherwise grow the pending-query map without bound; with the
+  /// guard, a query arriving at the bound is refused and counted in
+  /// ClusterMetrics::queries_overflowed. 0 = unbounded (legacy behavior).
+  std::size_t max_inflight_queries = 0;
+
   SimTime warmup = sec(2.0);
   SimTime duration = sec(20.0);
   /// Feedback policies converge slowly (TimeTrader adjusts every 5 s);
@@ -161,6 +169,7 @@ class SearchCluster {
   RequestId next_query_ = 0;
   RequestId next_subrequest_ = 0;
   std::unordered_map<RequestId, PendingQuery> inflight_;
+  std::size_t queries_overflowed_ = 0;
 
   // Fault replay state (unused when inputs.fault_timeline is null).
   std::unique_ptr<FaultCursor> faults_;

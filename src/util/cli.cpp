@@ -95,6 +95,21 @@ ReferenceFlags reference_flags_from_cli(const Cli& cli) {
   return flags;
 }
 
+ServingFlags serving_flags_from_cli(const Cli& cli) {
+  ServingFlags flags;
+  flags.peak_qps = cli.get_double("peak-qps", flags.peak_qps);
+  flags.horizon_s = cli.get_double("horizon", flags.horizon_s);
+  flags.epoch_s = cli.get_double("epoch-len", flags.epoch_s);
+  flags.window_s = cli.get_double("window", flags.window_s);
+  flags.admission = cli.get_string("admission", flags.admission);
+  flags.shed = cli.get_string("shed", flags.shed);
+  flags.seed = cli.get_int("serve-seed", flags.seed);
+  flags.flash_per_hour =
+      cli.get_double("flash-per-hour", flags.flash_per_hour);
+  flags.no_burst = cli.has_flag("no-burst");
+  return flags;
+}
+
 std::vector<std::string> Cli::unused() const {
   std::vector<std::string> names;
   for (const auto& [name, _] : values_) {

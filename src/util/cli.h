@@ -75,4 +75,22 @@ struct ReferenceFlags {
 ///   --reference              all of the above
 ReferenceFlags reference_flags_from_cli(const Cli& cli);
 
+/// Open-loop serving flags shared by the serving bench/example (mirrors
+/// ServingHarnessConfig without depending on src/serve — the serve layer
+/// applies the values).
+struct ServingFlags {
+  double peak_qps = 40.0;      ///< --peak-qps: rate at the diurnal peak
+  double horizon_s = 1800.0;   ///< --horizon: modeled seconds to serve
+  double epoch_s = 600.0;      ///< --epoch-len: re-plan cadence, seconds
+  double window_s = 60.0;      ///< --window: report window, seconds
+  std::string admission = "always";  ///< --admission=always|token-bucket|...
+  std::string shed = "never";        ///< --shed=never|deadline
+  long long seed = 1;          ///< --serve-seed: arrival + harness streams
+  double flash_per_hour = 1.0; ///< --flash-per-hour: flash-crowd intensity
+  bool no_burst = false;       ///< --no-burst: disable burst noise
+};
+
+/// Shared serving flags (see ServingFlags member docs for the spellings).
+ServingFlags serving_flags_from_cli(const Cli& cli);
+
 }  // namespace eprons

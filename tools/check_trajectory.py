@@ -148,6 +148,74 @@ def gate_hierarchy(path, max_power_ratio, max_flowpath_ratio):
     return ok
 
 
+def gate_serving(paths, trajectory, max_regression):
+    """Gates bench_serving_openloop stdout from >=1 runs (e.g. --threads
+    1/4/8).
+
+    Machine-independent contracts:
+      * every run prints the same `serving-fingerprint` (the FNV-1a digest
+        of all ServingWindowRecord lines) and the same
+        `serving_total_arrivals` — the serving determinism surface: the
+        arrival stream and the whole windowed report are thread-count
+        invariant;
+      * `serving_throughput_qps` (modeled completions per modeled second,
+        not wall-clock) stays within `max_regression` of the newest
+        committed trajectory point.
+    """
+    runs = []
+    ok = True
+    for path in paths:
+        text = Path(path).read_text()
+        fp = re.search(r"^serving-fingerprint: ([0-9a-f]{16})$", text, re.M)
+        tp = re.search(r"^serving_throughput_qps: ([0-9.]+)$", text, re.M)
+        ar = re.search(r"^serving_total_arrivals: (\d+)$", text, re.M)
+        if not (fp and tp and ar):
+            print(f"[trajectory] FAIL: {path} is missing serving trailer "
+                  f"lines (fingerprint/throughput/arrivals)", file=sys.stderr)
+            return False
+        runs.append((path, fp.group(1), float(tp.group(1)),
+                     int(ar.group(1))))
+
+    fps = {r[1] for r in runs}
+    arrivals = {r[3] for r in runs}
+    if len(fps) != 1:
+        print(f"[trajectory] FAIL: serving fingerprints differ across runs: "
+              f"{sorted(fps)}", file=sys.stderr)
+        ok = False
+    if len(arrivals) != 1:
+        print(f"[trajectory] FAIL: serving arrival counts differ across "
+              f"runs: {sorted(arrivals)}", file=sys.stderr)
+        ok = False
+    if next(iter(arrivals)) <= 0:
+        print("[trajectory] FAIL: serving run saw no arrivals",
+              file=sys.stderr)
+        ok = False
+    if ok:
+        print(f"[trajectory] serving fingerprint {runs[0][1]} and "
+              f"{runs[0][3]} arrivals identical across {len(runs)} runs")
+
+    points = [p for p in trajectory.get("trajectory", [])
+              if "serving_throughput_qps" in p]
+    if not points:
+        print("[trajectory] FAIL: committed trajectory has no "
+              "serving_throughput_qps point to gate against",
+              file=sys.stderr)
+        return False
+    committed = points[-1]["serving_throughput_qps"]
+    label = points[-1].get("label", "?")
+    measured = runs[0][2]
+    floor = committed * (1.0 - max_regression)
+    print(f"[trajectory] serving throughput: measured {measured:.2f} qps, "
+          f"committed {committed:.2f} qps ({label}), floor {floor:.2f} qps "
+          f"at {max_regression:.0%} tolerance")
+    if measured < floor:
+        print(f"[trajectory] FAIL: serving throughput {measured:.2f} qps "
+              f"regressed more than {max_regression:.0%} below committed "
+              f"{committed:.2f} qps", file=sys.stderr)
+        ok = False
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="gate CI on the committed bench trajectory")
@@ -171,13 +239,19 @@ def main():
     parser.add_argument("--max-flowpath-ratio", type=float, default=2.0,
                         help="allowed k=16-vs-k=4 per-flowpath sweep cost "
                              "ratio (default 2.0)")
+    parser.add_argument("--serving", nargs="+", default=[],
+                        help="bench_serving_openloop stdout files (one per "
+                             "--threads value) to gate the serving "
+                             "fingerprint and modeled throughput")
     args = parser.parse_args()
 
     with open(args.trajectory) as fh:
         trajectory = json.load(fh)
-    if not args.perf and not args.hierarchy and len(args.jsonl) < 2:
+    if (not args.perf and not args.hierarchy and not args.serving
+            and len(args.jsonl) < 2):
         raise SystemExit("[trajectory] nothing to gate: pass --perf, "
-                         "--hierarchy, and/or two or more --jsonl files")
+                         "--hierarchy, --serving, and/or two or more "
+                         "--jsonl files")
 
     ok = True
     if len(args.jsonl) >= 2:
@@ -190,6 +264,9 @@ def main():
     if args.hierarchy:
         ok = gate_hierarchy(args.hierarchy, args.max_power_ratio,
                             args.max_flowpath_ratio) and ok
+    if args.serving:
+        ok = gate_serving(args.serving, trajectory,
+                          args.max_regression) and ok
 
     if ok:
         print("[trajectory] all gates passed")

@@ -11,11 +11,17 @@ record types distinguished by their "source" field:
   attribution                      per-epoch energy & SLA ledger
   plan_explain                     candidate-K table with reject reasons
   fault_recovery                   emergency re-plan timeline
+  serving_window                   open-loop serving report windows (serve/)
 
 The report covers: power breakdown per layer/component (with shares),
 latency budget split and p50/p95/p99 from metrics histograms, the
 planner's chosen-K/path/reject statistics, the fault-recovery timeline,
 and a cross-run diff table when several runs are given.
+
+For serving runs, `--check` also enforces each window's conservation
+invariant exactly: arrivals == admitted + shed + dropped (integer
+counts, decided at arrival time — late sheds are tracked separately),
+plus p50 <= p95 <= p99 ordering and count sanity.
 
 `--check` verifies the ledger's bit-exactness contract (obs/attribution.h):
 the C++ producers *define* every headline total as a fixed-order sum of
@@ -125,12 +131,46 @@ def check_plan_explain(rec, where):
     return errors
 
 
+def check_serving_window(rec, where):
+    errors = []
+    need = ["arrivals", "admitted", "shed", "dropped", "late_shed",
+            "completed", "subqueries", "sla_misses"]
+    missing = [f for f in need if rec.get(f) is None]
+    if missing:
+        return [f"{where}: missing/null fields {missing}"]
+    # Conservation is exact by construction (arrival-time classification):
+    # integer counts, no epsilon.
+    total = rec["admitted"] + rec["shed"] + rec["dropped"]
+    if total != rec["arrivals"]:
+        errors.append(f"{where}: admitted+shed+dropped is {total}, "
+                      f"arrivals is {rec['arrivals']}")
+    for f in need:
+        if rec[f] < 0:
+            errors.append(f"{where}: negative count {f}={rec[f]}")
+    if rec["sla_misses"] > rec["subqueries"]:
+        errors.append(f"{where}: sla_misses {rec['sla_misses']} exceeds "
+                      f"subqueries {rec['subqueries']}")
+    p50 = rec.get("latency_p50_us") or 0.0
+    p95 = rec.get("latency_p95_us") or 0.0
+    p99 = rec.get("latency_p99_us") or 0.0
+    if not (p50 <= p95 <= p99):
+        errors.append(f"{where}: latency percentiles out of order "
+                      f"({p50!r}, {p95!r}, {p99!r})")
+    if (rec.get("window_end_us") or 0.0) <= (rec.get("window_start_us")
+                                             or 0.0):
+        errors.append(f"{where}: empty or inverted window span")
+    return errors
+
+
 def check_run(run):
     errors = []
     for i, rec in enumerate(run["by_source"].get("attribution", [])):
         errors += check_attribution(rec, f"{run['path']} attribution[{i}]")
     for i, rec in enumerate(run["by_source"].get("plan_explain", [])):
         errors += check_plan_explain(rec, f"{run['path']} plan_explain[{i}]")
+    for i, rec in enumerate(run["by_source"].get("serving_window", [])):
+        errors += check_serving_window(
+            rec, f"{run['path']} serving_window[{i}]")
     return errors
 
 
@@ -203,6 +243,34 @@ def plan_summary(run):
             "chosen_k": chosen_k, "paths": paths, "reject_reasons": rejects}
 
 
+def serving_summary(run):
+    windows = run["by_source"].get("serving_window", [])
+    if not windows:
+        return None
+    total = {f: sum(w.get(f) or 0 for w in windows)
+             for f in ("arrivals", "admitted", "queued", "shed", "dropped",
+                       "late_shed", "completed", "subqueries", "sla_misses",
+                       "transition_penalized")}
+    span_us = sum((w.get("window_end_us") or 0.0)
+                  - (w.get("window_start_us") or 0.0) for w in windows)
+    return {
+        "windows": len(windows),
+        "span_s": span_us / 1e6,
+        **total,
+        "offered_qps_mean": mean(w.get("offered_qps") or 0.0
+                                 for w in windows),
+        "miss_rate": (total["sla_misses"] / total["subqueries"]
+                      if total["subqueries"] else 0.0),
+        "shed_rate": (total["shed"] / total["arrivals"]
+                      if total["arrivals"] else 0.0),
+        "latency_p99_us_max": max((w.get("latency_p99_us") or 0.0)
+                                  for w in windows),
+        "energy_per_admitted_j_mean": mean(
+            w.get("energy_per_admitted_j") or 0.0
+            for w in windows if w.get("admitted")),
+    }
+
+
 def fault_timeline(run):
     return [
         {k: r.get(k) for k in
@@ -223,6 +291,7 @@ def summarize(run, errors):
         "power": power_summary(run),
         "latency": latency_summary(run),
         "plan": plan_summary(run),
+        "serving": serving_summary(run),
         "faults": fault_timeline(run),
         "invariant_errors": errors,
     }
@@ -312,6 +381,31 @@ def md_plans(summaries):
     return lines
 
 
+def md_serving(summaries):
+    rows = []
+    for s in summaries:
+        sv = s["serving"]
+        if not sv:
+            continue
+        rows.append(
+            f"| {s['name']} | {sv['windows']} | {sv['span_s']:.0f} | "
+            f"{sv['offered_qps_mean']:.1f} | {sv['arrivals']} | "
+            f"{100.0 * sv['admitted'] / sv['arrivals']:.2f}% | "
+            f"{100.0 * sv['shed_rate']:.2f}% | "
+            f"{sv['dropped'] + sv['late_shed']} | "
+            f"{100.0 * sv['miss_rate']:.2f}% | "
+            f"{sv['latency_p99_us_max'] / 1000.0:.1f} | "
+            f"{sv['energy_per_admitted_j_mean']:.3f} |"
+            if sv["arrivals"] else
+            f"| {s['name']} | {sv['windows']} | {sv['span_s']:.0f} | "
+            f"0.0 | 0 | - | - | 0 | - | 0.0 | 0.000 |")
+    if not rows:
+        return []
+    return ["| run | windows | span s | offered qps | arrivals | admit | "
+            "shed | drop | subq miss | worst p99 ms | J/query |",
+            "|---|---|---|---|---|---|---|---|---|---|---|"] + rows
+
+
 def md_faults(summaries):
     lines = []
     for s in summaries:
@@ -388,6 +482,9 @@ def render_markdown(summaries, check_ran):
     plan_lines = md_plans(summaries)
     if plan_lines:
         lines += ["", "## Planner decisions", ""] + plan_lines
+    serving_lines = md_serving(summaries)
+    if serving_lines:
+        lines += ["", "## Serving windows (open-loop)", ""] + serving_lines
     fault_lines = md_faults(summaries)
     if fault_lines:
         lines += ["", "## Fault-recovery timeline", ""] + fault_lines
@@ -440,8 +537,12 @@ def main():
             print("invariant check FAILED: no attribution/plan_explain "
                   "records found (nothing was verified)", file=sys.stderr)
             return 1
+        serving = sum(s["sources"].get("serving_window", 0)
+                      for s in summaries)
         print(f"invariant check passed: {atts} attribution and {plans} "
-              f"plan_explain records verified bit-exact")
+              f"plan_explain records verified bit-exact"
+              + (f"; {serving} serving windows conserved exactly"
+                 if serving else ""))
     return 0
 
 

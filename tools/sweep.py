@@ -11,6 +11,16 @@ cross-run report with diff tables.
         --out runs/fig13 --fixed duration=0.2 --sweep threads=1,4,8 \
         --sweep seed=1,2,3 --report
 
+`--serve` is a preset for the open-loop serving binaries
+(examples/serving_demo, bench/bench_serving_openloop): any axis not
+already given via --sweep/--fixed defaults to the serving grid
+peak-qps=20,40,80 x admission=always,token-bucket,sla-aware, so
+
+    python3 tools/sweep.py build/examples/serving_demo --serve \
+        --out runs/serve --fixed horizon=900 --report
+
+runs the full 9-cell grid and the serving section of the report.
+
 Each run directory `<out>/<flag-v_flag-v...>/` contains:
     epoch.jsonl   the --epoch-log stream (attribution + plan_explain + ...)
     metrics.json  the --metrics-out registry snapshot
@@ -54,6 +64,10 @@ def main():
     parser.add_argument("--sweep", action="append", default=[],
                         metavar="NAME=V1,V2,...",
                         help="flag swept over a comma list (repeatable)")
+    parser.add_argument("--serve", action="store_true",
+                        help="serving preset: add the default open-loop "
+                             "grid (peak-qps x admission) for any axis "
+                             "not given explicitly")
     parser.add_argument("--report", action="store_true",
                         help="build a cross-run report (with --check) "
                              "over all runs afterwards")
@@ -67,6 +81,13 @@ def main():
 
     fixed = [parse_kv(s, allow_list=False) for s in args.fixed]
     sweep = [parse_kv(s, allow_list=True) for s in args.sweep]
+    if args.serve:
+        given = {n for n, _ in fixed} | {n for n, _ in sweep}
+        for name, values in [
+                ("peak-qps", ["20", "40", "80"]),
+                ("admission", ["always", "token-bucket", "sla-aware"])]:
+            if name not in given:
+                sweep.append((name, values))
     grid = [list(zip([n for n, _ in sweep], combo))
             for combo in itertools.product(*[vals for _, vals in sweep])]
     if not grid:
